@@ -1,0 +1,150 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* A1 — conservative test ladder: Briggs → George → George-extended →
+  brute force on the same instances, measuring what each refinement
+  buys (the Section 4 discussion made quantitative).
+* A2 — the chordal-aware incremental strategy (the paper's proposed
+  future direction built on Theorem 5) against the brute-force test on
+  chordal program instances.
+* A3 — biased colouring (no merging at all) against merging
+  strategies: how much of the coalescing problem the select phase can
+  absorb on its own.
+* A4 — optimistic coalescing with and without the conservative
+  re-coalescing pass (Park–Moon's refinement).
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.challenge.generator import pressure_instance, program_instance
+from repro.coalescing import (
+    biased_coloring_result,
+    chordal_incremental_coalesce,
+    conservative_coalesce,
+    optimistic_coalesce,
+)
+
+LADDER = ["briggs", "george", "george_extended", "briggs_george", "brute"]
+
+
+def test_ablation_conservative_ladder(benchmark):
+    instances = [
+        pressure_instance(6, 9, margin=0, rng=random.Random(seed))
+        for seed in range(8)
+    ]
+    weight = sum(i.graph.total_affinity_weight() for i in instances)
+    totals = {}
+    for test in LADDER:
+        totals[test] = sum(
+            conservative_coalesce(i.graph, i.k, test=test).residual_weight
+            for i in instances
+        )
+    inst = instances[0]
+    benchmark(conservative_coalesce, inst.graph, inst.k, "george_extended")
+    emit(
+        benchmark,
+        "A1: conservative-test ladder, residual weight "
+        f"(total affinity weight {weight:g})",
+        ["test", "residual", "coalesced %"],
+        [
+            (t, f"{totals[t]:g}", f"{100 * (1 - totals[t] / weight):.1f}%")
+            for t in LADDER
+        ],
+    )
+    assert totals["brute"] <= totals["briggs"] + 1e-9
+    assert totals["george_extended"] <= totals["george"] + 1e-9
+
+
+def test_ablation_chordal_strategy(benchmark):
+    instances = [program_instance(seed, 4) for seed in range(10)]
+    weight = sum(i.graph.total_affinity_weight() for i in instances)
+    rows = []
+    total_chordal = total_brute = 0.0
+    for inst in instances:
+        c = chordal_incremental_coalesce(inst.graph, inst.k).residual_weight
+        b = conservative_coalesce(inst.graph, inst.k, "brute").residual_weight
+        total_chordal += c
+        total_brute += b
+        rows.append((inst.name, f"{c:g}", f"{b:g}"))
+    rows.append(("TOTAL", f"{total_chordal:g}", f"{total_brute:g}"))
+    inst = instances[0]
+    benchmark(chordal_incremental_coalesce, inst.graph, inst.k)
+    emit(
+        benchmark,
+        "A2: chordal-aware incremental strategy vs brute-force test "
+        f"(residual weight; {weight:g} at stake)",
+        ["instance", "chordal strategy", "brute force"],
+        rows,
+    )
+    assert total_chordal <= total_brute * 1.3 + 1e-9
+
+
+def test_ablation_biased_coloring(benchmark):
+    instances = [
+        pressure_instance(6, 9, margin=1, rng=random.Random(seed))
+        for seed in range(8)
+    ]
+    weight = sum(i.graph.total_affinity_weight() for i in instances)
+    bias = sum(
+        biased_coloring_result(i.graph, i.k).residual_weight
+        for i in instances
+    )
+    briggs = sum(
+        conservative_coalesce(i.graph, i.k, "briggs").residual_weight
+        for i in instances
+    )
+    brute = sum(
+        conservative_coalesce(i.graph, i.k, "brute").residual_weight
+        for i in instances
+    )
+    inst = instances[0]
+    benchmark(biased_coloring_result, inst.graph, inst.k)
+    emit(
+        benchmark,
+        f"A3: biased colouring vs merging (residual weight; {weight:g} at stake)",
+        ["strategy", "residual", "coalesced %"],
+        [
+            ("biased colouring", f"{bias:g}", f"{100 * (1 - bias / weight):.1f}%"),
+            ("briggs", f"{briggs:g}", f"{100 * (1 - briggs / weight):.1f}%"),
+            ("brute", f"{brute:g}", f"{100 * (1 - brute / weight):.1f}%"),
+        ],
+    )
+    # biased colouring coalesces something but merging sees further
+    assert bias < weight
+    assert brute <= bias + 1e-9
+
+
+def test_ablation_optimistic_recoalesce(benchmark):
+    # instances where de-coalescing is actually forced: the Theorem 6
+    # reductions (full aggressive coalescing is never colourable there)
+    from repro.reductions.optimistic_reduction import K as K6, reduce_vertex_cover
+    from repro.reductions.vertex_cover import random_low_degree_graph
+
+    instances = []
+    for seed in range(6):
+        rng = random.Random(seed)
+        src = random_low_degree_graph(rng.randint(4, 6), rng.randint(3, 6), 3, rng)
+        instances.append(reduce_vertex_cover(src).interference)
+    with_rc = sum(
+        optimistic_coalesce(g, K6, recoalesce=True).residual_weight
+        for g in instances
+    )
+    without = sum(
+        optimistic_coalesce(g, K6, recoalesce=False).residual_weight
+        for g in instances
+    )
+    benchmark(optimistic_coalesce, instances[0], K6)
+    emit(
+        benchmark,
+        "A4: optimistic de-coalescing with/without the re-coalescing pass "
+        "(Theorem 6 instances, de-coalescing forced)",
+        ["variant", "residual weight"],
+        [
+            ("with re-coalescing", f"{with_rc:g}"),
+            ("without", f"{without:g}"),
+        ],
+    )
+    assert with_rc <= without + 1e-9
+    assert without > 0  # de-coalescing really happened

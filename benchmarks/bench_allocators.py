@@ -1,0 +1,60 @@
+"""E3 — end-to-end allocator comparison (the Section 1 framing).
+
+Chaitin–Briggs (integrated spilling + conservative coalescing) versus
+the decoupled two-phase SSA allocator (spill to Maxlive ≤ k, then colour
+the chordal graph with a pluggable coalescing strategy) on random
+structured programs: spill counts and residual moves side by side.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.allocator import chaitin_allocate, ssa_allocate
+from repro.ir import GeneratorConfig, construct_ssa, eliminate_phis, random_function
+
+CONFIG = GeneratorConfig(num_vars=10, max_stmts=7, move_fraction=0.3)
+SEEDS = list(range(8))
+K = 4
+
+
+def _compare(seed: int):
+    f = random_function(seed, CONFIG)
+    phi_free = eliminate_phis(construct_ssa(f))
+    chaitin = chaitin_allocate(phi_free, K)
+    two_phase, stats = ssa_allocate(f, K, coalescing="brute")
+    return {
+        "seed": seed,
+        "chaitin_spills": len(chaitin.spilled),
+        "chaitin_residual": chaitin.residual_moves,
+        "ssa_spills": len(two_phase.spilled),
+        "ssa_residual_weight": (
+            round(stats.coalescing.residual_weight, 1)
+            if stats.coalescing
+            else 0.0
+        ),
+        "maxlive": stats.maxlive_before,
+    }
+
+
+def test_allocator_comparison(benchmark):
+    rows = [_compare(seed) for seed in SEEDS]
+    f = random_function(SEEDS[0], CONFIG)
+    benchmark(ssa_allocate, f, K)
+    emit(
+        benchmark,
+        f"E3: Chaitin-Briggs vs two-phase SSA allocator (k = {K})",
+        ["seed", "Maxlive", "Chaitin spills", "Chaitin residual moves",
+         "SSA spills", "SSA residual move weight"],
+        [
+            (r["seed"], r["maxlive"], r["chaitin_spills"], r["chaitin_residual"],
+             r["ssa_spills"], r["ssa_residual_weight"])
+            for r in rows
+        ],
+    )
+    # the decoupled allocator spills only what pressure demands: never
+    # more than the integrated allocator in aggregate
+    assert sum(r["ssa_spills"] for r in rows) <= sum(
+        r["chaitin_spills"] for r in rows
+    )

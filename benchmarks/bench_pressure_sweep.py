@@ -1,0 +1,61 @@
+"""E2 — register-pressure sweep: the fraction of moves coalesced by
+each strategy as Maxlive approaches k.
+
+The paper's Sections 1 and 4 claim that conservative local rules
+degrade precisely when the register pressure is close to the register
+count (the regime aggressive SSA-based spilling produces), while the
+global tests keep coalescing.  The sweep over the margin k − Maxlive
+regenerates that crossover as a series.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.challenge.generator import pressure_instance
+from repro.coalescing.conservative import conservative_coalesce
+from repro.coalescing.optimistic import optimistic_coalesce
+
+K = 7
+MARGINS = [0, 1, 2, 3]
+STRATEGIES = ["briggs", "george", "briggs_george", "brute", "optimistic"]
+
+
+def _fraction(margin: int, strategy: str) -> float:
+    coalesced = total = 0.0
+    for seed in range(6):
+        inst = pressure_instance(K, 9, margin=margin, rng=random.Random(seed))
+        total += inst.graph.total_affinity_weight()
+        if strategy == "optimistic":
+            r = optimistic_coalesce(inst.graph, inst.k)
+        else:
+            r = conservative_coalesce(inst.graph, inst.k, test=strategy)
+        coalesced += r.coalesced_weight
+    return coalesced / total if total else 1.0
+
+
+def test_pressure_sweep(benchmark):
+    data = {
+        (margin, s): _fraction(margin, s)
+        for margin in MARGINS
+        for s in STRATEGIES
+    }
+    inst = pressure_instance(K, 9, margin=0, rng=random.Random(0))
+    benchmark(conservative_coalesce, inst.graph, K, "briggs")
+    emit(
+        benchmark,
+        "E2: fraction of move weight coalesced vs margin k - Maxlive (k = 7)",
+        ["strategy"] + [f"margin {m}" for m in MARGINS],
+        [
+            [s] + [f"{100 * data[(m, s)]:.1f}%" for m in MARGINS]
+            for s in STRATEGIES
+        ],
+    )
+    # the paper's shape: at margin 0 local rules are clearly behind the
+    # global tests; with slack everyone coalesces (almost) everything
+    assert data[(0, "brute")] > data[(0, "briggs")]
+    assert data[(0, "optimistic")] > data[(0, "briggs")]
+    for s in STRATEGIES:
+        assert data[(MARGINS[-1], s)] >= 0.99 * data[(0, s)]
+    assert data[(MARGINS[-1], "briggs")] >= 0.95

@@ -1,0 +1,102 @@
+"""E1 — strategy comparison: how much move weight each coalescing
+strategy removes on tight (Maxlive = k) challenge-like instances.
+
+The paper's Section 4 claims, reproduced as a table:
+
+* local conservative rules (Briggs, George) leave many moves when
+  register pressure is high;
+* the brute-force conservative test coalesces strictly more;
+* George-for-any-vertices (after spilling) helps over Briggs alone;
+* optimistic coalescing is competitive with brute-force conservative;
+* aggressive coalescing is the (uncolourable) lower bound on residual
+  weight; the exact optimum sits between brute and aggressive.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.challenge.generator import pressure_instance, program_instance
+from repro.coalescing.aggressive import aggressive_coalesce
+from repro.coalescing.conservative import conservative_coalesce
+from repro.coalescing.optimistic import optimistic_coalesce
+
+STRATEGIES = [
+    "aggressive", "briggs", "george", "briggs_george", "brute",
+    "optimistic", "irc", "irc_george_any",
+]
+
+
+def _residual(graph, k, strategy):
+    if strategy == "aggressive":
+        return aggressive_coalesce(graph).residual_weight
+    if strategy == "optimistic":
+        return optimistic_coalesce(graph, k).residual_weight
+    if strategy.startswith("irc"):
+        from repro.allocator.irc import irc_allocate
+
+        result = irc_allocate(graph, k, george_any=strategy.endswith("any"))
+        return sum(
+            w
+            for u, v, w in graph.affinities()
+            if result.colors.get(u) != result.colors.get(v)
+        )
+    return conservative_coalesce(graph, k, test=strategy).residual_weight
+
+
+def _sweep(instances):
+    totals = {s: 0.0 for s in STRATEGIES}
+    weight = 0.0
+    for inst in instances:
+        weight += inst.graph.total_affinity_weight()
+        for s in STRATEGIES:
+            totals[s] += _residual(inst.graph, inst.k, s)
+    return totals, weight
+
+
+def test_strategy_comparison_pressure(benchmark):
+    instances = [
+        pressure_instance(6, 10, margin=0, rng=random.Random(seed))
+        for seed in range(8)
+    ]
+    totals, weight = _sweep(instances)
+    inst = instances[0]
+    benchmark(conservative_coalesce, inst.graph, inst.k, "brute")
+    emit(
+        benchmark,
+        "E1a: residual move weight on Maxlive = k parallel-copy instances "
+        f"(total affinity weight {weight:g})",
+        ["strategy", "residual weight", "coalesced %"],
+        [
+            (s, f"{totals[s]:g}", f"{100 * (1 - totals[s] / weight):.1f}%")
+            for s in STRATEGIES
+        ],
+    )
+    # shape: aggressive <= optimistic/brute <= briggs
+    assert totals["aggressive"] <= totals["brute"] + 1e-9
+    assert totals["brute"] <= totals["briggs"] + 1e-9
+    assert totals["optimistic"] <= totals["briggs"] + 1e-9
+    # at Maxlive = k the local rules leave strictly more moves
+    assert totals["briggs"] > totals["brute"]
+
+
+def test_strategy_comparison_programs(benchmark):
+    instances = [program_instance(seed, 4) for seed in range(10)]
+    totals, weight = _sweep(instances)
+    inst = instances[0]
+    benchmark(conservative_coalesce, inst.graph, inst.k, "brute")
+    emit(
+        benchmark,
+        "E1b: residual move weight on SSA-derived program instances "
+        f"(total affinity weight {weight:g})",
+        ["strategy", "residual weight", "coalesced %"],
+        [
+            (s, f"{totals[s]:g}", f"{100 * (1 - totals[s] / weight):.1f}%")
+            for s in STRATEGIES
+        ],
+    )
+    assert totals["aggressive"] <= min(
+        totals[s] for s in STRATEGIES if s != "aggressive"
+    ) + 1e-9
+    assert totals["brute"] <= totals["briggs"] + 1e-9

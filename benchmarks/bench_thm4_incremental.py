@@ -1,0 +1,66 @@
+"""T4/F4 — Theorem 4: 3SAT ≡ coalescing one affinity on a 3-colorable
+graph (Figure 4).
+
+Regenerates the equivalence — DPLL verdict versus "is there a
+3-colouring with colour(x0) = colour(F)" — on satisfiable and
+unsatisfiable formulas, and times the reduction construction.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from conftest import emit
+from repro.graphs.coloring import is_k_colorable
+from repro.reductions.incremental_reduction import (
+    decide_via_coalescing,
+    reduce_3sat,
+)
+from repro.reductions.sat import CNF, is_satisfiable, random_3sat
+
+
+def _unsat():
+    cnf = CNF(num_vars=3)
+    for signs in itertools.product((1, -1), repeat=3):
+        cnf.add_clause((signs[0] * 1, signs[1] * 2, signs[2] * 3))
+    return cnf
+
+
+def _instances():
+    out = [("crafted-unsat", _unsat())]
+    for seed in range(6):
+        rng = random.Random(seed)
+        out.append((f"random{seed}", random_3sat(3, rng.randint(3, 7), rng)))
+    return out
+
+
+def _one(name: str, cnf: CNF):
+    red = reduce_3sat(cnf)
+    return {
+        "name": name,
+        "clauses": len(cnf.clauses),
+        "graph_V": len(red.fsg.graph),
+        "base_3colorable": is_k_colorable(red.fsg.graph, 3),
+        "sat": is_satisfiable(cnf),
+        "coalescible": decide_via_coalescing(red),
+    }
+
+
+def test_theorem4_reproduction(benchmark):
+    rows = [_one(name, cnf) for name, cnf in _instances()]
+    benchmark(reduce_3sat, random_3sat(4, 8, random.Random(0)))
+    emit(
+        benchmark,
+        "Theorem 4: SAT(F) == coalescible(x0, F) on the Figure 4 graph",
+        ["instance", "clauses", "|V|", "base 3-colorable", "SAT", "coalescible"],
+        [
+            (r["name"], r["clauses"], r["graph_V"], r["base_3colorable"],
+             r["sat"], r["coalescible"])
+            for r in rows
+        ],
+    )
+    assert all(r["base_3colorable"] for r in rows)
+    assert all(r["sat"] == r["coalescible"] for r in rows)
+    assert any(not r["sat"] for r in rows)
+    assert any(r["sat"] for r in rows)

@@ -1,0 +1,74 @@
+"""T6/F6/F7 — Theorem 6: vertex cover ≡ optimistic de-coalescing.
+
+Regenerates (a) the four structural properties of the Figure 6 vertex
+structure that the proof relies on, and (b) the optimum equivalence:
+minimum number of de-coalesced heart affinities == minimum vertex cover,
+on random degree-≤3 source graphs.  Times the heuristic optimistic
+coalescer on a reduction instance.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.coalescing.optimistic import decoalesce_minimum, optimistic_coalesce
+from repro.reductions.optimistic_reduction import (
+    K,
+    decoalescing_to_cover,
+    reduce_vertex_cover,
+    structure_properties,
+)
+from repro.reductions.vertex_cover import (
+    is_vertex_cover,
+    min_vertex_cover,
+    random_low_degree_graph,
+)
+
+
+def test_structure_properties(benchmark):
+    props = benchmark(structure_properties)
+    emit(
+        benchmark,
+        "Theorem 6: Figure 6 structure behaviours",
+        ["property", "holds"],
+        sorted(props.items()),
+    )
+    assert all(props.values())
+
+
+def test_theorem6_optimum_equivalence(benchmark):
+    rows = []
+    for seed in range(6):
+        rng = random.Random(seed)
+        src = random_low_degree_graph(rng.randint(3, 5), rng.randint(2, 5), 3, rng)
+        red = reduce_vertex_cover(src)
+        mvc = min_vertex_cover(src)
+        best = decoalesce_minimum(red.interference, K, max_give_up=len(mvc) + 1)
+        heuristic = optimistic_coalesce(red.interference, K)
+        heuristic_cover = decoalescing_to_cover(red, heuristic.coalescing)
+        rows.append(
+            (
+                seed,
+                len(src),
+                src.num_edges(),
+                len(mvc),
+                len(best) if best is not None else None,
+                len(heuristic_cover),
+                is_vertex_cover(src, heuristic_cover),
+            )
+        )
+    src = random_low_degree_graph(5, 5, 3, random.Random(0))
+    red = reduce_vertex_cover(src)
+    benchmark(optimistic_coalesce, red.interference, K)
+    emit(
+        benchmark,
+        "Theorem 6: min vertex cover == min de-coalescing "
+        "(heuristic gives a valid, possibly larger, cover)",
+        ["seed", "|V|", "|E|", "min cover", "min de-coalesce",
+         "heuristic de-coalesce", "heuristic is cover"],
+        rows,
+    )
+    assert all(r[3] == r[4] for r in rows)
+    assert all(r[6] for r in rows)
+    assert all(r[5] >= r[3] for r in rows)

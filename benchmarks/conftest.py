@@ -1,0 +1,34 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every bench both *times* its central operation (pytest-benchmark) and
+*regenerates the experiment's data* — the rows of the table/figure it
+reproduces — which it prints and attaches to ``benchmark.extra_info``
+so a plain ``pytest benchmarks/ --benchmark-only -s`` shows the full
+reproduction output used in EXPERIMENTS.md.
+"""
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Plain-text table renderer for bench output."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def emit(benchmark, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a reproduction table and stash it on the benchmark record."""
+    rows = list(rows)
+    table = format_table(headers, rows)
+    print(f"\n=== {title} ===\n{table}")
+    if benchmark is not None:
+        benchmark.extra_info["table"] = [list(map(str, r)) for r in rows]
+        benchmark.extra_info["title"] = title

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate docs/API.md from module and callable docstrings."""
+
+import importlib
+import inspect
+import io
+import os
+
+MODULES = [
+    "repro.graphs.graph", "repro.graphs.interference", "repro.graphs.chordal",
+    "repro.graphs.coloring", "repro.graphs.greedy", "repro.graphs.generators",
+    "repro.graphs.perfect", "repro.graphs.interval", "repro.graphs.io",
+    "repro.ir.instructions", "repro.ir.cfg", "repro.ir.builder",
+    "repro.ir.dominance", "repro.ir.liveness", "repro.ir.ssa",
+    "repro.ir.out_of_ssa", "repro.ir.interference", "repro.ir.generators",
+    "repro.ir.gadget_programs", "repro.ir.parser", "repro.ir.interp",
+    "repro.ir.rename",
+    "repro.coalescing.base", "repro.coalescing.aggressive",
+    "repro.coalescing.conservative", "repro.coalescing.incremental",
+    "repro.coalescing.optimistic", "repro.coalescing.exact",
+    "repro.coalescing.chordal_strategy", "repro.coalescing.biased",
+    "repro.coalescing.node_merging",
+    "repro.allocator.spill", "repro.allocator.chaitin", "repro.allocator.irc",
+    "repro.allocator.ssa_allocator", "repro.allocator.local",
+    "repro.reductions.sat", "repro.reductions.multiway_cut",
+    "repro.reductions.vertex_cover", "repro.reductions.kcolor",
+    "repro.reductions.aggressive_reduction",
+    "repro.reductions.conservative_reduction",
+    "repro.reductions.incremental_reduction",
+    "repro.reductions.optimistic_reduction",
+    "repro.challenge.format", "repro.challenge.generator",
+    "repro.challenge.scoring",
+    "repro.cli",
+]
+
+
+def main() -> None:
+    out = io.StringIO()
+    out.write("# API reference\n\n")
+    out.write(
+        "One-line summaries of every public item, generated from the\n"
+        "docstrings (`python docs/generate_api.py` regenerates this file).\n"
+    )
+    for name in MODULES:
+        mod = importlib.import_module(name)
+        out.write(f"\n## `{name}`\n\n")
+        doc = (mod.__doc__ or "").strip().splitlines()
+        if doc:
+            out.write(doc[0].strip() + "\n\n")
+        for attr in sorted(dir(mod)):
+            if attr.startswith("_"):
+                continue
+            obj = getattr(mod, attr)
+            if getattr(obj, "__module__", None) != name:
+                continue
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue
+            first = ((obj.__doc__ or "").strip().splitlines() or [""])[0].strip()
+            kind = "class" if inspect.isclass(obj) else "def"
+            out.write(f"* **`{attr}`** ({kind}) — {first}\n")
+    target = os.path.join(os.path.dirname(__file__), "API.md")
+    with open(target, "w") as stream:
+        stream.write(out.getvalue())
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a reproduction of "On the Complexity of Register Coalescing"
+(Bouchez, Darte, Rastello; LIP RR-2006-15 / CGO 2007).
+
+The library implements, from scratch:
+
+* the graph substrate the paper reasons about — interference graphs
+  with affinities, chordal-graph machinery (clique trees, perfect
+  elimination orderings), greedy-k-colorability, and exact colouring
+  oracles (:mod:`repro.graphs`);
+* a mini compiler IR with SSA construction, liveness, dominance and
+  out-of-SSA translation, so interference graphs come from real
+  programs (:mod:`repro.ir`);
+* all four coalescing strategies the paper classifies — aggressive,
+  conservative (Briggs/George/brute-force), incremental (with the
+  polynomial chordal algorithm of Theorem 5) and optimistic — plus
+  exact baselines (:mod:`repro.coalescing`);
+* two full register allocators built on them (:mod:`repro.allocator`);
+* executable versions of every NP-completeness reduction — Theorems 2,
+  3, 4, 6 — with bidirectional certificate maps
+  (:mod:`repro.reductions`);
+* challenge-style instance generation and serialization
+  (:mod:`repro.challenge`).
+
+Quick start::
+
+    from repro.graphs import InterferenceGraph
+    from repro.coalescing import conservative_coalesce
+
+    g = InterferenceGraph()
+    g.add_edge("a", "b")
+    g.add_affinity("a", "c")
+    result = conservative_coalesce(g, k=2, test="brute")
+    print(result.summary())
+"""
+
+from . import allocator, challenge, coalescing, graphs, ir, reductions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "allocator",
+    "challenge",
+    "coalescing",
+    "graphs",
+    "ir",
+    "reductions",
+    "__version__",
+]

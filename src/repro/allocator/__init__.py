@@ -1,0 +1,54 @@
+"""Register allocators built on the coalescing library.
+
+Two designs from the paper's Section 1:
+
+* :func:`chaitin_allocate` — the integrated Chaitin–Briggs loop
+  (simplify / conservative-coalesce / freeze / spill / select, iterated
+  after actual spills);
+* :func:`ssa_allocate` — the decoupled two-phase allocator: spill to
+  Maxlive ≤ k on strict SSA, then colour the (chordal) graph while
+  coalescing with any strategy.
+"""
+
+from .spill import (
+    is_memory_slot,
+    memory_slots,
+    spill_costs,
+    spill_everywhere,
+    strip_memory_slots,
+)
+from .chaitin import AllocationResult, chaitin_allocate
+from .irc import IRCResult, irc_allocate, irc_coalescing_result
+from .local import (
+    Interval,
+    belady_local_allocate,
+    block_intervals,
+    color_intervals,
+    max_overlap,
+)
+from .ssa_allocator import (
+    SSAAllocationStats,
+    spill_to_pressure,
+    ssa_allocate,
+)
+
+__all__ = [
+    "is_memory_slot",
+    "memory_slots",
+    "spill_costs",
+    "spill_everywhere",
+    "strip_memory_slots",
+    "AllocationResult",
+    "chaitin_allocate",
+    "SSAAllocationStats",
+    "spill_to_pressure",
+    "ssa_allocate",
+    "Interval",
+    "belady_local_allocate",
+    "block_intervals",
+    "color_intervals",
+    "max_overlap",
+    "IRCResult",
+    "irc_allocate",
+    "irc_coalescing_result",
+]

@@ -1,0 +1,236 @@
+"""A Chaitin–Briggs register allocator with iterated coalescing.
+
+The classical framework the paper describes in Section 1: simplify /
+coalesce / freeze / potential-spill / select, iterated after actual
+spills.  Coalescing inside the loop is conservative (Briggs + George by
+default, configurable — including the brute-force test, to measure the
+paper's claim that it coalesces strictly more).
+
+This allocator is the baseline of the E3 benchmark and the substrate
+for the "interplay of spilling and coalescing" discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graphs.interference import InterferenceGraph
+from ..ir.cfg import Function
+from ..ir.interference import chaitin_interference, set_frequencies_from_loops
+from ..ir.instructions import Var
+from ..coalescing.conservative import TESTS, brute_force_test
+from ..graphs.greedy import is_greedy_k_colorable
+from .spill import is_memory_slot, is_spill_temp, spill_costs, spill_everywhere
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of a register allocation."""
+
+    function: Function              # the final (possibly spill-rewritten) code
+    assignment: Dict[Var, int]      # variable -> register
+    k: int
+    spilled: List[Var] = field(default_factory=list)
+    coalesced_moves: int = 0
+    iterations: int = 1
+
+    @property
+    def residual_moves(self) -> int:
+        """Copy instructions whose operands got different registers."""
+        count = 0
+        for _, _, instr in self.function.moves():
+            dst, src = instr.defs[0], instr.uses[0]
+            if self.assignment.get(dst) != self.assignment.get(src):
+                count += 1
+        return count
+
+    def verify(self) -> List[str]:
+        """Check the assignment against the final interference graph."""
+        problems: List[str] = []
+        graph = chaitin_interference(self.function, weighted=False)
+        for u, v in graph.edges():
+            if is_memory_slot(u) or is_memory_slot(v):
+                continue
+            cu, cv = self.assignment.get(u), self.assignment.get(v)
+            if cu is None or cv is None:
+                problems.append(f"unassigned interfering variable {u} / {v}")
+            elif cu == cv:
+                problems.append(f"{u} and {v} interfere but share r{cu}")
+        for v, c in self.assignment.items():
+            if not 0 <= c < self.k:
+                problems.append(f"{v} got out-of-range register r{c}")
+        return problems
+
+
+def _strip_slots(graph: InterferenceGraph) -> None:
+    for v in [v for v in graph.vertices if is_memory_slot(v)]:
+        graph.remove_vertex(v)
+
+
+SPILL_METRICS = ("cost_degree", "cost", "degree")
+
+
+def chaitin_allocate(
+    func: Function,
+    k: int,
+    coalesce_test: str = "briggs_george",
+    max_iterations: int = 12,
+    spill_metric: str = "cost_degree",
+) -> AllocationResult:
+    """Run the full Chaitin–Briggs loop on ``func`` with ``k`` registers.
+
+    Iterates build → simplify/coalesce/freeze/spill → select; on actual
+    spills the code is rewritten (spill everywhere) and the loop
+    restarts.  Raises ``RuntimeError`` if spilling fails to converge
+    (cannot happen while each round spills at least one variable with a
+    live range longer than a point, but guarded anyway).
+
+    ``spill_metric`` picks the potential-spill heuristic: Chaitin's
+    classic cost/degree ratio (default), plain minimum cost, or maximum
+    degree — compared in the spill ablation bench.
+    """
+    if k <= 0:
+        raise ValueError("need at least one register")
+    if spill_metric not in SPILL_METRICS:
+        raise ValueError(f"unknown spill metric {spill_metric!r}")
+    test_fn = TESTS[coalesce_test]
+    if not func.frequency:
+        set_frequencies_from_loops(func)
+    work_func = func
+    total_spilled: List[Var] = []
+    for iteration in range(1, max_iterations + 1):
+        graph = chaitin_interference(work_func, weighted=True)
+        _strip_slots(graph)
+        costs = spill_costs(work_func)
+        assignment, coalesced, actual_spills = _color_round(
+            graph, k, test_fn, costs, spill_metric
+        )
+        if not actual_spills:
+            return AllocationResult(
+                function=work_func,
+                assignment=assignment,
+                k=k,
+                spilled=total_spilled,
+                coalesced_moves=coalesced,
+                iterations=iteration,
+            )
+        total_spilled.extend(actual_spills)
+        work_func = spill_everywhere(work_func, set(actual_spills))
+    raise RuntimeError("spilling did not converge")
+
+
+def _color_round(
+    graph: InterferenceGraph,
+    k: int,
+    test_fn,
+    costs: Dict[Var, float],
+    spill_metric: str = "cost_degree",
+) -> Tuple[Dict[Var, int], int, List[Var]]:
+    """One simplify/coalesce/freeze/spill/select round.
+
+    Returns (assignment over merged classes expanded to variables,
+    number of coalesced moves, actual spills).
+    """
+    work = graph.copy()
+    # members of each current vertex (for expanding colours at the end)
+    members: Dict[Var, Set[Var]] = {v: {v} for v in work.vertices}
+    stack: List[Tuple[Var, bool]] = []  # (vertex, is_potential_spill)
+    coalesced_moves = 0
+    frozen: Set[frozenset] = set()
+
+    def move_related(v: Var) -> bool:
+        return any(
+            frozenset((a, b)) not in frozen
+            for a, b, _ in work.affinities()
+            if v in (a, b)
+        )
+
+    while len(work):
+        # 1. simplify: a non-move-related vertex of low degree
+        candidate = next(
+            (
+                v
+                for v in work.vertices
+                if work.degree(v) < k and not move_related(v)
+            ),
+            None,
+        )
+        if candidate is not None:
+            stack.append((candidate, False))
+            work.remove_vertex(candidate)
+            continue
+        # 2. coalesce: a conservative move.  The brute-force test is an
+        # absolute check ("is the merged graph greedy-k-colorable"), so
+        # it is only meaningful when the current graph already is — the
+        # paper's setting of coalescing after spilling.  Mid-spill we
+        # fall back to the relative Briggs+George rules.
+        round_test = test_fn
+        if test_fn is brute_force_test and not is_greedy_k_colorable(work, k):
+            round_test = TESTS["briggs_george"]
+        merged = False
+        for a, b, _ in sorted(
+            work.affinities(), key=lambda t: (-t[2], str(t[0]), str(t[1]))
+        ):
+            if frozenset((a, b)) in frozen or work.has_edge(a, b):
+                continue
+            if round_test(work, a, b, k):
+                work.merge_in_place(a, b)
+                members[a] = members[a] | members.pop(b)
+                coalesced_moves += 1
+                merged = True
+                break
+        if merged:
+            continue
+        # 3. freeze: give up the cheapest move of a low-degree vertex
+        freeze_candidate = next(
+            (
+                (a, b)
+                for a, b, _ in sorted(work.affinities(), key=lambda t: t[2])
+                if frozenset((a, b)) not in frozen
+                and (work.degree(a) < k or work.degree(b) < k)
+            ),
+            None,
+        )
+        if freeze_candidate is not None:
+            frozen.add(frozenset(freeze_candidate))
+            continue
+        # 4. potential spill: cheapest cost / degree ratio; reload
+        # temporaries last (re-spilling them cannot reduce pressure)
+        def spill_key(v: Var):
+            temp = all(is_spill_temp(m) for m in members[v])
+            cost = sum(costs.get(m, 1.0) for m in members[v])
+            if spill_metric == "cost":
+                metric = cost
+            elif spill_metric == "degree":
+                metric = -work.degree(v)
+            else:  # cost/degree, Chaitin's classic
+                metric = cost / max(1, work.degree(v))
+            return (temp, metric, str(v))
+
+        spill_v = min(work.vertices, key=spill_key)
+        stack.append((spill_v, True))
+        work.remove_vertex(spill_v)
+
+    # select: colour merged classes in reverse removal order; a class's
+    # forbidden colours come from any member adjacent to any coloured
+    # member
+    owner = {m: rep for rep, ms in members.items() for m in ms}
+    assignment: Dict[Var, int] = {}
+    actual_spills: List[Var] = []
+    colored: Dict[Var, int] = {}
+    for v, _potential in reversed(stack):
+        used: Set[int] = set()
+        for m in members[v]:
+            for u in graph.neighbors_view(m):
+                rep = owner[u]
+                if rep in colored:
+                    used.add(colored[rep])
+        c = next((c for c in range(k) if c not in used), None)
+        if c is None:
+            actual_spills.extend(members[v])
+            continue
+        colored[v] = c
+        for m in members[v]:
+            assignment[m] = c
+    return assignment, coalesced_moves, actual_spills

@@ -1,0 +1,379 @@
+"""Iterated Register Coalescing (George & Appel, TOPLAS 1996).
+
+The classical framework the paper analyzes in Sections 1 and 4: a
+worklist-driven interleaving of simplify / coalesce / freeze /
+potential-spill over the interference graph, with Briggs' test between
+temporaries and George's test against *precolored* machine registers —
+the asymmetric usage the paper highlights ("George's rule is used in
+[19] only to merge a vertex u with a precolored vertex v ... because
+such a vertex never leads to a spill").
+
+This is a faithful graph-level implementation of the published
+pseudocode (worklists, move sets, alias chains), operating on an
+:class:`~repro.graphs.InterferenceGraph`; spill code rewriting is the
+caller's business (see :func:`repro.allocator.chaitin_allocate` for a
+full loop).  A ``george_any`` switch applies George's test between any
+two nodes — the paper's suggested strengthening when spilling was done
+beforehand — so the difference is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..graphs.graph import Vertex
+from ..graphs.interference import InterferenceGraph
+
+
+@dataclass
+class IRCResult:
+    """Outcome of one IRC colouring round."""
+
+    colors: Dict[Vertex, int]
+    spilled: List[Vertex]
+    coalesced_moves: int
+    frozen_moves: int
+    #: representative each coalesced node was merged into
+    alias: Dict[Vertex, Vertex] = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        return not self.spilled
+
+
+class _IRC:
+    def __init__(
+        self,
+        graph: InterferenceGraph,
+        k: int,
+        precolored: Dict[Vertex, int],
+        costs: Dict[Vertex, float],
+        george_any: bool,
+    ) -> None:
+        self.k = k
+        self.george_any = george_any
+        self.costs = costs
+        self.precolored: Set[Vertex] = set(precolored)
+        self.color: Dict[Vertex, int] = dict(precolored)
+
+        self.adj: Dict[Vertex, Set[Vertex]] = {
+            v: set() for v in graph.vertices
+        }
+        self.degree: Dict[Vertex, int] = {v: 0 for v in graph.vertices}
+        for u, v in graph.edges():
+            self._add_edge(u, v)
+
+        # move sets, keyed by the unordered pair
+        self.worklist_moves: Set[FrozenSet[Vertex]] = set()
+        self.active_moves: Set[FrozenSet[Vertex]] = set()
+        self.coalesced_moves: Set[FrozenSet[Vertex]] = set()
+        self.constrained_moves: Set[FrozenSet[Vertex]] = set()
+        self.frozen_moves: Set[FrozenSet[Vertex]] = set()
+        self.move_list: Dict[Vertex, Set[FrozenSet[Vertex]]] = {
+            v: set() for v in graph.vertices
+        }
+        for u, v, _ in graph.affinities():
+            if u == v or graph.has_edge(u, v):
+                continue
+            move = frozenset((u, v))
+            self.worklist_moves.add(move)
+            self.move_list[u].add(move)
+            self.move_list[v].add(move)
+
+        self.alias: Dict[Vertex, Vertex] = {}
+        self.coalesced_nodes: Set[Vertex] = set()
+        self.select_stack: List[Vertex] = []
+        self.on_stack: Set[Vertex] = set()
+        self.spilled_nodes: List[Vertex] = []
+
+        self.simplify_worklist: Set[Vertex] = set()
+        self.freeze_worklist: Set[Vertex] = set()
+        self.spill_worklist: Set[Vertex] = set()
+        for v in graph.vertices:
+            if v in self.precolored:
+                continue
+            if self.degree[v] >= k:
+                self.spill_worklist.add(v)
+            elif self._move_related(v):
+                self.freeze_worklist.add(v)
+            else:
+                self.simplify_worklist.add(v)
+
+    # ------------------------------------------------------------------
+    def _add_edge(self, u: Vertex, v: Vertex) -> None:
+        if u == v or v in self.adj[u]:
+            return
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+        # precolored nodes have conceptually infinite degree
+        if u not in self.precolored:
+            self.degree[u] += 1
+        if v not in self.precolored:
+            self.degree[v] += 1
+
+    def _node_moves(self, v: Vertex) -> Set[FrozenSet[Vertex]]:
+        return self.move_list[v] & (self.active_moves | self.worklist_moves)
+
+    def _move_related(self, v: Vertex) -> bool:
+        return bool(self._node_moves(v))
+
+    def _adjacent(self, v: Vertex) -> List[Vertex]:
+        return [
+            u
+            for u in self.adj[v]
+            if u not in self.on_stack and u not in self.coalesced_nodes
+        ]
+
+    def _enable_moves(self, nodes) -> None:
+        for n in nodes:
+            for move in list(self._node_moves(n) & self.active_moves):
+                self.active_moves.discard(move)
+                self.worklist_moves.add(move)
+
+    def _decrement_degree(self, v: Vertex) -> None:
+        if v in self.precolored:
+            return
+        d = self.degree[v]
+        self.degree[v] = d - 1
+        if d == self.k:
+            self._enable_moves([v] + self._adjacent(v))
+            self.spill_worklist.discard(v)
+            if self._move_related(v):
+                self.freeze_worklist.add(v)
+            else:
+                self.simplify_worklist.add(v)
+
+    # ------------------------------------------------------------------
+    def simplify(self) -> None:
+        v = min(self.simplify_worklist, key=str)
+        self.simplify_worklist.discard(v)
+        self.select_stack.append(v)
+        self.on_stack.add(v)
+        for u in self._adjacent(v):
+            self._decrement_degree(u)
+
+    # ------------------------------------------------------------------
+    def _get_alias(self, v: Vertex) -> Vertex:
+        while v in self.coalesced_nodes:
+            v = self.alias[v]
+        return v
+
+    def _add_worklist(self, v: Vertex) -> None:
+        if (
+            v not in self.precolored
+            and not self._move_related(v)
+            and self.degree[v] < self.k
+        ):
+            self.freeze_worklist.discard(v)
+            self.simplify_worklist.add(v)
+
+    def _ok(self, t: Vertex, r: Vertex) -> bool:
+        """George's per-neighbour condition for merging into r."""
+        return (
+            self.degree[t] < self.k
+            or t in self.precolored
+            or t in self.adj[r]
+        )
+
+    def _conservative(self, nodes) -> bool:
+        """Briggs' test over the combined neighbourhood."""
+        significant = 0
+        for n in nodes:
+            if n in self.precolored or self.degree[n] >= self.k:
+                significant += 1
+        return significant < self.k
+
+    def coalesce(self) -> None:
+        move = min(self.worklist_moves, key=lambda m: sorted(map(str, m)))
+        self.worklist_moves.discard(move)
+        x, y = move
+        x, y = self._get_alias(x), self._get_alias(y)
+        if y in self.precolored:
+            x, y = y, x
+        u, v = x, y  # u may be precolored; v never is (unless both)
+        if u == v:
+            self.coalesced_moves.add(move)
+            self._add_worklist(u)
+            return
+        if v in self.precolored or v in self.adj[u]:
+            self.constrained_moves.add(move)
+            self._add_worklist(u)
+            self._add_worklist(v)
+            return
+        george_applicable = u in self.precolored or self.george_any
+        george_ok = george_applicable and all(
+            self._ok(t, u) for t in self._adjacent(v)
+        )
+        briggs_ok = u not in self.precolored and self._conservative(
+            set(self._adjacent(u)) | set(self._adjacent(v))
+        )
+        if george_ok or briggs_ok:
+            self.coalesced_moves.add(move)
+            self._combine(u, v)
+            self._add_worklist(u)
+        else:
+            self.active_moves.add(move)
+
+    def _combine(self, u: Vertex, v: Vertex) -> None:
+        self.freeze_worklist.discard(v)
+        self.spill_worklist.discard(v)
+        self.coalesced_nodes.add(v)
+        self.alias[v] = u
+        self.move_list[u] |= self.move_list[v]
+        self._enable_moves([v])
+        for t in self._adjacent(v):
+            self._add_edge(t, u)
+            self._decrement_degree(t)
+        if (
+            u not in self.precolored
+            and self.degree[u] >= self.k
+            and u in self.freeze_worklist
+        ):
+            self.freeze_worklist.discard(u)
+            self.spill_worklist.add(u)
+
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        v = min(self.freeze_worklist, key=str)
+        self.freeze_worklist.discard(v)
+        self.simplify_worklist.add(v)
+        self._freeze_moves(v)
+
+    def _freeze_moves(self, v: Vertex) -> None:
+        for move in list(self._node_moves(v)):
+            self.active_moves.discard(move)
+            self.worklist_moves.discard(move)
+            self.frozen_moves.add(move)
+            (a, b) = move
+            other = self._get_alias(b) if self._get_alias(a) == self._get_alias(v) else self._get_alias(a)
+            if (
+                other not in self.precolored
+                and not self._move_related(other)
+                and self.degree[other] < self.k
+            ):
+                self.spill_worklist.discard(other)
+                self.freeze_worklist.discard(other)
+                self.simplify_worklist.add(other)
+
+    # ------------------------------------------------------------------
+    def select_spill(self) -> None:
+        v = min(
+            self.spill_worklist,
+            key=lambda x: (
+                self.costs.get(x, 1.0) / max(1, self.degree[x]),
+                str(x),
+            ),
+        )
+        self.spill_worklist.discard(v)
+        self.simplify_worklist.add(v)
+        self._freeze_moves(v)
+
+    # ------------------------------------------------------------------
+    def assign_colors(self) -> None:
+        while self.select_stack:
+            v = self.select_stack.pop()
+            self.on_stack.discard(v)
+            forbidden = set()
+            for t in self.adj[v]:
+                t = self._get_alias(t)
+                if t in self.color:
+                    forbidden.add(self.color[t])
+            available = [c for c in range(self.k) if c not in forbidden]
+            if not available:
+                self.spilled_nodes.append(v)
+            else:
+                self.color[v] = available[0]
+        for v in self.coalesced_nodes:
+            rep = self._get_alias(v)
+            if rep in self.color:
+                self.color[v] = self.color[rep]
+            else:
+                self.spilled_nodes.append(v)
+
+    # ------------------------------------------------------------------
+    def run(self) -> IRCResult:
+        while (
+            self.simplify_worklist
+            or self.worklist_moves
+            or self.freeze_worklist
+            or self.spill_worklist
+        ):
+            if self.simplify_worklist:
+                self.simplify()
+            elif self.worklist_moves:
+                self.coalesce()
+            elif self.freeze_worklist:
+                self.freeze()
+            else:
+                self.select_spill()
+        self.assign_colors()
+        return IRCResult(
+            colors=dict(self.color),
+            spilled=list(self.spilled_nodes),
+            coalesced_moves=len(self.coalesced_moves),
+            frozen_moves=len(self.frozen_moves),
+            alias={v: self._get_alias(v) for v in self.coalesced_nodes},
+        )
+
+
+def irc_allocate(
+    graph: InterferenceGraph,
+    k: int,
+    precolored: Optional[Dict[Vertex, int]] = None,
+    costs: Optional[Dict[Vertex, float]] = None,
+    george_any: bool = False,
+) -> IRCResult:
+    """One round of iterated register coalescing on an interference
+    graph.
+
+    ``precolored`` pins machine registers (infinite degree, never
+    simplified or spilled); ``george_any`` extends George's test from
+    precolored-only (the published algorithm) to any pair (the paper's
+    §4 suggestion for post-spilling use).  Returns colours, potential
+    spills that became actual (uncolourable) and move statistics.
+    """
+    if k <= 0:
+        raise ValueError("need at least one register")
+    precolored = dict(precolored or {})
+    for v, c in precolored.items():
+        if not 0 <= c < k:
+            raise ValueError(f"precoloured register {c} out of range")
+        if v not in graph:
+            raise ValueError(f"precoloured vertex {v!r} not in graph")
+    return _IRC(graph, k, precolored, dict(costs or {}), george_any).run()
+
+
+def irc_coalescing_result(
+    graph: InterferenceGraph,
+    k: int,
+    precolored: Optional[Dict[Vertex, int]] = None,
+    george_any: bool = False,
+):
+    """Run IRC and express its coalescing decisions as a
+    :class:`~repro.coalescing.base.CoalescingResult` (so IRC slots into
+    the strategy-comparison and CLI machinery)."""
+    from ..coalescing.base import CoalescingResult
+    from ..graphs.interference import Coalescing
+
+    result = irc_allocate(
+        graph, k, precolored=precolored, george_any=george_any
+    )
+    coalescing = Coalescing(graph)
+    for v, rep in result.alias.items():
+        coalescing.union(v, rep)
+    coalesced = [
+        (u, v, w) for u, v, w in graph.affinities()
+        if coalescing.same_class(u, v)
+    ]
+    given_up = [
+        (u, v, w) for u, v, w in graph.affinities()
+        if not coalescing.same_class(u, v)
+    ]
+    return CoalescingResult(
+        graph=graph,
+        coalescing=coalescing,
+        strategy="irc-george-any" if george_any else "irc",
+        coalesced=coalesced,
+        given_up=given_up,
+    )

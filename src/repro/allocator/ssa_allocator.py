@@ -1,0 +1,215 @@
+"""Two-phase SSA-based register allocator.
+
+The decoupled design the paper credits to Appel–George and the SSA
+line of work (Section 1): first *spill* until Maxlive ≤ k — after
+which the strict-SSA interference graph is chordal with ω = Maxlive ≤ k
+(Theorem 1), hence colourable with k colours without further spills —
+then *colour and coalesce* in one final phase on a greedy-k-colorable
+graph (Property 1 guarantees the Chaitin elimination machinery still
+applies).
+
+The coalescing phase is pluggable: any conservative test from
+:mod:`repro.coalescing.conservative`, or the optimistic strategy —
+which is exactly the comparison surface of the E1/E2 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..coalescing.base import CoalescingResult
+from ..coalescing.conservative import conservative_coalesce
+from ..coalescing.optimistic import optimistic_coalesce
+from ..graphs.chordal import is_chordal
+from ..graphs.greedy import greedy_k_coloring
+from ..graphs.interference import InterferenceGraph
+from ..ir.cfg import Function
+from ..ir.interference import chaitin_interference, set_frequencies_from_loops
+from ..ir.instructions import Var
+from ..ir.liveness import compute_liveness, maxlive
+from ..ir.ssa import construct_ssa
+from .chaitin import AllocationResult
+from .spill import is_memory_slot, is_spill_temp, spill_costs, spill_everywhere
+
+
+@dataclass
+class SSAAllocationStats:
+    """Extra reporting for the two-phase allocator."""
+
+    maxlive_before: int = 0
+    maxlive_after: int = 0
+    spill_rounds: int = 0
+    chordal: bool = False
+    coalescing: Optional[CoalescingResult] = None
+
+
+def _pressure_maxlive(func: Function) -> int:
+    """Maxlive ignoring memory-slot pseudo-variables."""
+    info = compute_liveness(func)
+    best = 0
+    for name in func.reachable():
+        block = func.blocks[name]
+        live = {v for v in info.live_out[name] if not is_memory_slot(v)}
+        best = max(best, len(live))
+        for instr in reversed(block.instrs):
+            defs = {d for d in instr.defs if not is_memory_slot(d)}
+            best = max(best, len(live | defs))
+            live -= set(instr.defs)
+            live |= {u for u in instr.uses if not is_memory_slot(u)}
+        phi_targets = {
+            p.target for p in block.phis if not is_memory_slot(p.target)
+        }
+        best = max(best, len(live | phi_targets))
+    return best
+
+
+def spill_to_pressure(func: Function, k: int, max_rounds: int = 64) -> Tuple[Function, List[Var], int]:
+    """Phase 1: spill everywhere until Maxlive ≤ k.
+
+    Candidate order: highest spill benefit first — cost-to-degree is
+    approximated by (live-range pressure contribution) / (def+use
+    cost).  Simple and effective for the study; the paper's companion
+    work treats optimal spilling separately.
+
+    Returns (rewritten function, spilled variables, rounds).
+    """
+    work = func
+    spilled: List[Var] = []
+    rounds = 0
+    while _pressure_maxlive(work) > k:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("pressure spilling did not converge")
+        info = compute_liveness(work)
+        costs = spill_costs(work)
+        # find a maximal-pressure point and spill its cheapest live var
+        best_point: Tuple[str, int] = ("", -1)
+        best_live: Set[Var] = set()
+        for name in work.reachable():
+            block = work.blocks[name]
+            live = {v for v in info.live_out[name] if not is_memory_slot(v)}
+            if len(live) > len(best_live):
+                best_live, best_point = set(live), (name, len(block.instrs))
+            for i in range(len(block.instrs) - 1, -1, -1):
+                instr = block.instrs[i]
+                cand = {
+                    v
+                    for v in (live | set(instr.defs))
+                    if not is_memory_slot(v)
+                }
+                if len(cand) > len(best_live):
+                    best_live, best_point = set(cand), (name, i)
+                live -= set(instr.defs)
+                live |= {u for u in instr.uses if not is_memory_slot(u)}
+            # the block-top point where all φ-targets are defined in
+            # parallel (counted by maxlive, so it must be spillable too)
+            phi_targets = {
+                p.target for p in block.phis if not is_memory_slot(p.target)
+            }
+            cand = {
+                v for v in (live | phi_targets) if not is_memory_slot(v)
+            }
+            if len(cand) > len(best_live):
+                best_live, best_point = set(cand), (name, -1)
+        if not best_live:
+            break
+        # never re-spill a reload temporary (".rN"): its range is already
+        # minimal, so spilling it again cannot reduce pressure
+        spillable = {v for v in best_live if not is_spill_temp(v)}
+        if not spillable:
+            raise RuntimeError(
+                "register pressure cannot be reduced below k: a single "
+                "instruction keeps more than k reload temporaries live"
+            )
+        victim = min(spillable, key=lambda v: (costs.get(v, 0.0), str(v)))
+        spilled.append(victim)
+        work = spill_everywhere(work, {victim})
+    return work, spilled, rounds
+
+
+
+def ssa_allocate(
+    func: Function,
+    k: int,
+    coalescing: str = "brute",
+) -> Tuple[AllocationResult, SSAAllocationStats]:
+    """Run the full two-phase allocator.
+
+    ``coalescing`` is one of the conservative test names
+    ("briggs", "george", "briggs_george", "brute") or "optimistic" or
+    "none".
+    """
+    if k <= 0:
+        raise ValueError("need at least one register")
+    if not func.frequency:
+        set_frequencies_from_loops(func)
+    ssa = construct_ssa(func)
+    stats = SSAAllocationStats(maxlive_before=_pressure_maxlive(ssa))
+
+    # phase 1: spill
+    lowered, spilled, rounds = spill_to_pressure(ssa, k)
+    stats.spill_rounds = rounds
+    stats.maxlive_after = _pressure_maxlive(lowered)
+
+    # phase 2: colour + coalesce
+    graph = chaitin_interference(lowered, weighted=True)
+    for v in [v for v in graph.vertices if is_memory_slot(v)]:
+        graph.remove_vertex(v)
+    stats.chordal = is_chordal(graph.structural_graph())
+
+    if coalescing == "none":
+        quotient = graph
+        mapping = {v: v for v in graph.vertices}
+        coalesced_moves = 0
+    elif coalescing == "biased":
+        # no merging at all: steer the colour selection instead
+        from ..coalescing.biased import biased_greedy_coloring
+
+        coloring = biased_greedy_coloring(graph, k)
+        if coloring is None:
+            raise AssertionError(
+                "phase-2 graph not greedy-k-colorable despite Maxlive ≤ k"
+            )
+        result = AllocationResult(
+            function=lowered,
+            assignment=dict(coloring),
+            k=k,
+            spilled=spilled,
+            coalesced_moves=sum(
+                1
+                for u, v, _ in graph.affinities()
+                if coloring[u] == coloring[v]
+            ),
+        )
+        return result, stats
+    else:
+        if coalescing == "optimistic":
+            result = optimistic_coalesce(graph, k)
+        elif coalescing == "chordal":
+            from ..coalescing.chordal_strategy import (
+                chordal_incremental_coalesce,
+            )
+
+            result = chordal_incremental_coalesce(graph, k)
+        else:
+            result = conservative_coalesce(graph, k, test=coalescing)
+        stats.coalescing = result
+        quotient = result.coalescing.coalesced_graph()
+        mapping = result.coalescing.as_mapping()
+        coalesced_moves = result.num_coalesced
+
+    coloring = greedy_k_coloring(quotient, k)
+    if coloring is None:
+        raise AssertionError(
+            "phase-2 graph not greedy-k-colorable despite Maxlive ≤ k"
+        )
+    assignment = {v: coloring[mapping[v]] for v in graph.vertices}
+    result = AllocationResult(
+        function=lowered,
+        assignment=assignment,
+        k=k,
+        spilled=spilled,
+        coalesced_moves=coalesced_moves,
+    )
+    return result, stats

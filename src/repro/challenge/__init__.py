@@ -1,0 +1,49 @@
+"""Coalescing-challenge instances: format, generators.
+
+Offline stand-in for the Appel–George "Optimal Coalescing Challenge"
+graph base (see DESIGN.md for the substitution rationale).
+"""
+
+from .format import (
+    ChallengeInstance,
+    dump_instance,
+    dumps_instance,
+    load_instances,
+    loads_instances,
+)
+from .scoring import (
+    Solution,
+    dump_solution,
+    dumps_solution,
+    load_solutions,
+    loads_solutions,
+    score,
+    scoreboard,
+    solution_from_result,
+    validate,
+)
+from .generator import (
+    pressure_instance,
+    program_instance,
+    survivor_interferences_ok,
+)
+
+__all__ = [
+    "ChallengeInstance",
+    "dump_instance",
+    "dumps_instance",
+    "load_instances",
+    "loads_instances",
+    "pressure_instance",
+    "program_instance",
+    "survivor_interferences_ok",
+    "Solution",
+    "dump_solution",
+    "dumps_solution",
+    "load_solutions",
+    "loads_solutions",
+    "score",
+    "scoreboard",
+    "solution_from_result",
+    "validate",
+]

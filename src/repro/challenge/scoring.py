@@ -1,0 +1,142 @@
+"""Scoring coalescing solutions, challenge-style.
+
+The Appel–George challenge asked participants to submit, per instance,
+an assignment of variables to registers; submissions were scored by the
+total weight of moves whose endpoints ended up in different registers.
+This module reproduces that workflow for our instances:
+
+* a :class:`Solution` is a colouring of an instance's graph with its k
+  registers (or, equivalently, a coalescing expressed by colours);
+* ``validate`` checks it (complete, within k, no monochromatic
+  interference);
+* ``score`` computes the residual move weight;
+* solutions serialize as simple ``assign VAR REG`` text blocks.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from ..graphs.graph import Vertex
+from .format import ChallengeInstance
+
+
+@dataclass
+class Solution:
+    """A submitted register assignment for one instance."""
+
+    instance_name: str
+    assignment: Dict[Vertex, int] = field(default_factory=dict)
+
+
+def validate(instance: ChallengeInstance, solution: Solution) -> List[str]:
+    """Problems with a solution (empty list = valid)."""
+    problems: List[str] = []
+    graph = instance.graph
+    for v in graph.vertices:
+        if v not in solution.assignment:
+            problems.append(f"variable {v} unassigned")
+    for v, r in solution.assignment.items():
+        if v not in graph:
+            problems.append(f"unknown variable {v}")
+        elif not 0 <= r < instance.k:
+            problems.append(f"{v} uses register r{r} out of 0..{instance.k - 1}")
+    for u, v in graph.edges():
+        ru = solution.assignment.get(u)
+        rv = solution.assignment.get(v)
+        if ru is not None and ru == rv:
+            problems.append(f"{u} and {v} interfere but share r{ru}")
+    return problems
+
+
+def score(instance: ChallengeInstance, solution: Solution) -> float:
+    """Residual move weight (lower is better).  Raises on invalid
+    solutions."""
+    problems = validate(instance, solution)
+    if problems:
+        raise ValueError(f"invalid solution: {problems[0]}")
+    total = 0.0
+    for u, v, w in instance.graph.affinities():
+        if solution.assignment[u] != solution.assignment[v]:
+            total += w
+    return total
+
+
+def solution_from_result(instance: ChallengeInstance, result) -> Solution:
+    """Turn a :class:`~repro.coalescing.base.CoalescingResult` into a
+    scored solution by colouring the quotient greedily."""
+    from ..graphs.greedy import greedy_k_coloring
+
+    quotient = result.coalescing.coalesced_graph()
+    coloring = greedy_k_coloring(quotient, instance.k)
+    if coloring is None:
+        raise ValueError("quotient is not greedy-k-colorable")
+    mapping = result.coalescing.as_mapping()
+    return Solution(
+        instance_name=instance.name,
+        assignment={v: coloring[mapping[v]] for v in instance.graph.vertices},
+    )
+
+
+def dump_solution(solution: Solution, stream: TextIO) -> None:
+    """Write a solution: a ``solution NAME`` header and assign lines."""
+    stream.write(f"solution {solution.instance_name}\n")
+    for v, r in solution.assignment.items():
+        stream.write(f"assign {v} {r}\n")
+
+
+def dumps_solution(solution: Solution) -> str:
+    buf = io.StringIO()
+    dump_solution(solution, buf)
+    return buf.getvalue()
+
+
+def load_solutions(stream: TextIO) -> List[Solution]:
+    """Parse concatenated solutions."""
+    out: List[Solution] = []
+    current: Optional[Solution] = None
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "solution" and len(parts) == 2:
+            current = Solution(instance_name=parts[1])
+            out.append(current)
+        elif parts[0] == "assign" and len(parts) == 3:
+            if current is None:
+                raise ValueError(f"line {lineno}: assign before header")
+            current.assignment[parts[1]] = int(parts[2])
+        else:
+            raise ValueError(f"line {lineno}: unrecognized record {line!r}")
+    return out
+
+
+def loads_solutions(text: str) -> List[Solution]:
+    return load_solutions(io.StringIO(text))
+
+
+def scoreboard(
+    instances: List[ChallengeInstance],
+    solutions: List[Solution],
+) -> List[Tuple[str, Optional[float], str]]:
+    """Match solutions to instances by name and score each.
+
+    Returns ``(instance, score-or-None, status)`` rows; missing or
+    invalid solutions get a diagnostic instead of a score.
+    """
+    by_name = {s.instance_name: s for s in solutions}
+    rows: List[Tuple[str, Optional[float], str]] = []
+    for inst in instances:
+        solution = by_name.get(inst.name)
+        if solution is None:
+            rows.append((inst.name, None, "missing"))
+            continue
+        problems = validate(inst, solution)
+        if problems:
+            rows.append((inst.name, None, f"invalid: {problems[0]}"))
+            continue
+        rows.append((inst.name, score(inst, solution), "ok"))
+    return rows

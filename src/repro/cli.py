@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info FILE``
+    Statistics of the instances in a challenge file (or of a DIMACS
+    graph with ``--dimacs``): sizes, chordality, colouring number.
+
+``coalesce FILE [--strategy S] [--k K]``
+    Run a coalescing strategy on every instance of a challenge file and
+    report the residual move weight per instance.
+
+``allocate FILE [--k K] [--allocator A] [--coalescing S]``
+    Register-allocate the IR functions in FILE (the text format of
+    :mod:`repro.ir.parser`).
+
+``generate [--kind pressure|program] [--count N] [--k K] [-o FILE]``
+    Emit challenge-style instances.
+
+``dot FILE [--instance NAME]``
+    Render an instance as Graphviz DOT on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .challenge.format import dump_instance, load_instances
+from .challenge.generator import pressure_instance, program_instance
+from .coalescing import TESTS, conservative_coalesce, optimistic_coalesce
+from .coalescing.aggressive import aggressive_coalesce
+from .coalescing.biased import biased_coloring_result
+from .coalescing.chordal_strategy import chordal_incremental_coalesce
+from .graphs.chordal import is_chordal
+from .graphs.greedy import coloring_number, is_greedy_k_colorable
+from .graphs.io import read_dimacs, to_dot
+
+STRATEGIES = sorted(TESTS) + [
+    "aggressive", "optimistic", "biased", "chordal", "irc",
+]
+
+
+def _run_strategy(graph, k: int, strategy: str):
+    if strategy == "aggressive":
+        return aggressive_coalesce(graph)
+    if strategy == "optimistic":
+        return optimistic_coalesce(graph, k)
+    if strategy == "biased":
+        return biased_coloring_result(graph, k)
+    if strategy == "chordal":
+        return chordal_incremental_coalesce(graph, k)
+    if strategy == "irc":
+        from .allocator.irc import irc_coalescing_result
+
+        return irc_coalescing_result(graph, k)
+    return conservative_coalesce(graph, k, test=strategy)
+
+
+def _load(path: str, dimacs: bool):
+    if dimacs:
+        with open(path) as stream:
+            graph = read_dimacs(stream)
+        from .challenge.format import ChallengeInstance
+
+        return [ChallengeInstance(name=path, k=0, graph=graph)]
+    with open(path) as stream:
+        return load_instances(stream)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    instances = _load(args.file, args.dimacs)
+    print(f"{'instance':<16} {'|V|':>5} {'|E|':>6} {'|A|':>5} "
+          f"{'k':>3} {'chordal':>8} {'col':>4}")
+    for inst in instances:
+        structural = inst.graph.structural_graph()
+        print(
+            f"{inst.name:<16} {len(inst.graph):>5} "
+            f"{inst.graph.num_edges():>6} {inst.graph.num_affinities():>5} "
+            f"{inst.k:>3} {str(is_chordal(structural)):>8} "
+            f"{coloring_number(structural):>4}"
+        )
+    return 0
+
+
+def cmd_coalesce(args: argparse.Namespace) -> int:
+    instances = _load(args.file, args.dimacs)
+    status = 0
+    print(f"{'instance':<16} {'k':>3} {'strategy':<14} "
+          f"{'coalesced':>9} {'residual':>9}")
+    for inst in instances:
+        k = args.k or inst.k
+        if k <= 0:
+            print(f"{inst.name:<16}  -- no k given (use --k)", file=sys.stderr)
+            status = 2
+            continue
+        try:
+            result = _run_strategy(inst.graph, k, args.strategy)
+        except ValueError as exc:
+            print(f"{inst.name:<16}  -- {exc}", file=sys.stderr)
+            status = 2
+            continue
+        print(
+            f"{inst.name:<16} {k:>3} {args.strategy:<14} "
+            f"{result.num_coalesced:>9} {result.residual_weight:>9g}"
+        )
+    return status
+
+
+def cmd_allocate(args: argparse.Namespace) -> int:
+    from .allocator import chaitin_allocate, ssa_allocate
+    from .ir.parser import parse_functions
+
+    with open(args.file) as stream:
+        functions = parse_functions(stream)
+    status = 0
+    for func in functions:
+        try:
+            if args.allocator == "chaitin":
+                result = chaitin_allocate(
+                    func, args.k, coalesce_test=args.coalescing
+                    if args.coalescing in TESTS else "briggs_george",
+                )
+                extra = ""
+            else:
+                result, stats = ssa_allocate(func, args.k, coalescing=args.coalescing)
+                extra = f", phase-2 chordal={stats.chordal}"
+        except (ValueError, RuntimeError) as exc:
+            print(f"{func.name}: failed ({exc})", file=sys.stderr)
+            status = 2
+            continue
+        problems = result.verify()
+        verdict = "OK" if not problems else f"INVALID ({problems[0]})"
+        print(
+            f"{func.name}: k={args.k} spilled={len(result.spilled)} "
+            f"coalesced={result.coalesced_moves} "
+            f"residual_moves={result.residual_moves} {verdict}{extra}"
+        )
+        if problems:
+            status = 1
+    return status
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        for i in range(args.count):
+            if args.kind == "pressure":
+                inst = pressure_instance(
+                    args.k, args.rounds, margin=args.margin,
+                    rng=random.Random(args.seed + i),
+                    name=f"pressure{args.seed + i}",
+                )
+            else:
+                inst = program_instance(args.seed + i, args.k)
+            dump_instance(inst, out)
+    finally:
+        if args.output:
+            out.close()
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from .challenge.scoring import dump_solution, solution_from_result
+
+    instances = _load(args.file, False)
+    out = open(args.output, "w") if args.output else sys.stdout
+    status = 0
+    try:
+        for inst in instances:
+            try:
+                result = _run_strategy(inst.graph, inst.k, args.strategy)
+                solution = solution_from_result(inst, result)
+            except ValueError as exc:
+                print(f"{inst.name}: {exc}", file=sys.stderr)
+                status = 2
+                continue
+            dump_solution(solution, out)
+    finally:
+        if args.output:
+            out.close()
+    return status
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    from .challenge.scoring import load_solutions, scoreboard
+
+    instances = _load(args.instances, False)
+    with open(args.solutions) as stream:
+        solutions = load_solutions(stream)
+    rows = scoreboard(instances, solutions)
+    total = 0.0
+    ok = True
+    print(f"{'instance':<16} {'score':>9}  status")
+    for name, value, status in rows:
+        shown = f"{value:g}" if value is not None else "-"
+        print(f"{name:<16} {shown:>9}  {status}")
+        if value is None:
+            ok = False
+        else:
+            total += value
+    print(f"{'TOTAL':<16} {total:>9g}")
+    return 0 if ok else 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    instances = _load(args.file, args.dimacs)
+    for inst in instances:
+        if args.instance and inst.name != args.instance:
+            continue
+        sys.stdout.write(to_dot(inst.graph, name=inst.name.replace("-", "_")))
+        return 0
+    print(f"instance {args.instance!r} not found", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Register-coalescing library CLI "
+        "(reproduction of Bouchez, Darte, Rastello 2006/2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="describe instances in a file")
+    p.add_argument("file")
+    p.add_argument("--dimacs", action="store_true")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("coalesce", help="run a coalescing strategy")
+    p.add_argument("file")
+    p.add_argument("--strategy", choices=STRATEGIES, default="brute")
+    p.add_argument("--k", type=int, default=0, help="override register count")
+    p.add_argument("--dimacs", action="store_true")
+    p.set_defaults(func=cmd_coalesce)
+
+    p = sub.add_parser("allocate", help="register-allocate IR functions")
+    p.add_argument("file")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--allocator", choices=["chaitin", "ssa"], default="ssa")
+    p.add_argument("--coalescing", default="brute")
+    p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("generate", help="emit challenge instances")
+    p.add_argument("--kind", choices=["pressure", "program"], default="pressure")
+    p.add_argument("--count", type=int, default=5)
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--rounds", type=int, default=9)
+    p.add_argument("--margin", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("solve", help="emit solutions for challenge instances")
+    p.add_argument("file")
+    p.add_argument("--strategy", choices=STRATEGIES, default="brute")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("score", help="score solutions against instances")
+    p.add_argument("instances")
+    p.add_argument("solutions")
+    p.set_defaults(func=cmd_score)
+
+    p = sub.add_parser("dot", help="render an instance as Graphviz DOT")
+    p.add_argument("file")
+    p.add_argument("--instance", help="instance name (default: first)")
+    p.add_argument("--dimacs", action="store_true")
+    p.set_defaults(func=cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

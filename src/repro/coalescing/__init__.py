@@ -1,0 +1,74 @@
+"""Register-coalescing strategies — the paper's primary subject.
+
+Four problem variants (Section 1), each with the heuristics used in
+practice and an exact baseline for small instances:
+
+=====================  ==============================================
+aggressive             :func:`aggressive_coalesce`,
+                       :func:`aggressive_coalesce_exact`  (Theorem 2)
+conservative           :func:`conservative_coalesce` with Briggs /
+                       George / brute-force tests,
+                       :func:`optimal_conservative_coalescing`
+                       (Theorem 3)
+incremental            :func:`chordal_incremental_coalescible`
+                       (polynomial, Theorem 5),
+                       :func:`incremental_coalescible_exact`
+                       (Theorem 4)
+optimistic             :func:`optimistic_coalesce`,
+                       :func:`decoalesce_minimum`  (Theorem 6)
+=====================  ==============================================
+"""
+
+from .base import CoalescingResult, affinities_by_weight, empty_coalescing
+from .aggressive import aggressive_coalesce, aggressive_coalesce_exact
+from .conservative import (
+    TESTS,
+    briggs_george_test,
+    briggs_test,
+    brute_force_test,
+    conservative_coalesce,
+    george_extended_test,
+    george_extended_test_both,
+    george_test,
+    george_test_both,
+)
+from .incremental import (
+    IntervalWitness,
+    chordal_incremental_coalescible,
+    chordal_incremental_coloring,
+    incremental_coalescible_exact,
+)
+from .optimistic import decoalesce_minimum, optimistic_coalesce
+from .exact import optimal_conservative_coalescing
+from .chordal_strategy import chordal_incremental_coalesce
+from .biased import biased_coloring_result, biased_greedy_coloring
+from .node_merging import merge_to_make_greedy_colorable, merging_helps
+
+__all__ = [
+    "CoalescingResult",
+    "affinities_by_weight",
+    "empty_coalescing",
+    "aggressive_coalesce",
+    "aggressive_coalesce_exact",
+    "TESTS",
+    "briggs_test",
+    "george_test",
+    "george_test_both",
+    "briggs_george_test",
+    "brute_force_test",
+    "conservative_coalesce",
+    "IntervalWitness",
+    "chordal_incremental_coalescible",
+    "chordal_incremental_coloring",
+    "incremental_coalescible_exact",
+    "optimistic_coalesce",
+    "decoalesce_minimum",
+    "optimal_conservative_coalescing",
+    "george_extended_test",
+    "george_extended_test_both",
+    "chordal_incremental_coalesce",
+    "biased_coloring_result",
+    "biased_greedy_coloring",
+    "merge_to_make_greedy_colorable",
+    "merging_helps",
+]

@@ -1,0 +1,72 @@
+"""Shared machinery for the coalescing strategies.
+
+Every strategy consumes an :class:`~repro.graphs.InterferenceGraph` and
+produces a :class:`CoalescingResult`: the partition of the vertices
+(``coalescing``), the quotient graph, and bookkeeping about which
+affinities were coalesced and what the residual move cost is — the
+paper's objective "at most K affinities are not coalesced".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.graph import Vertex
+from ..graphs.interference import Coalescing, InterferenceGraph
+
+
+@dataclass
+class CoalescingResult:
+    """Outcome of a coalescing strategy on an interference graph."""
+
+    graph: InterferenceGraph
+    coalescing: Coalescing
+    strategy: str
+    #: affinities (u, v, w) the strategy coalesced
+    coalesced: List[Tuple[Vertex, Vertex, float]] = field(default_factory=list)
+    #: affinities (u, v, w) left in the code (residual moves)
+    given_up: List[Tuple[Vertex, Vertex, float]] = field(default_factory=list)
+
+    @property
+    def coalesced_weight(self) -> float:
+        """Total weight of removed moves."""
+        return self.coalescing.coalesced_weight()
+
+    @property
+    def residual_weight(self) -> float:
+        """Total weight of remaining moves (the paper's K)."""
+        return self.coalescing.uncoalesced_weight()
+
+    @property
+    def num_coalesced(self) -> int:
+        """Number of affinity pairs coalesced."""
+        return self.graph.num_affinities() - len(
+            self.coalescing.uncoalesced_affinities()
+        )
+
+    def coalesced_graph(self) -> InterferenceGraph:
+        """The quotient graph :math:`G_f`."""
+        return self.coalescing.coalesced_graph()
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        total = self.graph.total_affinity_weight()
+        return (
+            f"{self.strategy}: coalesced {self.num_coalesced}/"
+            f"{self.graph.num_affinities()} affinities, "
+            f"residual weight {self.residual_weight:g}/{total:g}"
+        )
+
+
+def affinities_by_weight(graph: InterferenceGraph) -> List[Tuple[Vertex, Vertex, float]]:
+    """Affinities sorted by decreasing weight (ties broken stably by
+    name, for determinism)."""
+    return sorted(
+        graph.affinities(), key=lambda a: (-a[2], str(a[0]), str(a[1]))
+    )
+
+
+def empty_coalescing(graph: InterferenceGraph) -> Coalescing:
+    """The identity coalescing (no affinity coalesced)."""
+    return Coalescing(graph)

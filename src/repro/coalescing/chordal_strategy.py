@@ -1,0 +1,103 @@
+"""A chordal-aware incremental conservative coalescing strategy.
+
+Section 4 of the paper, after Theorem 5: *"we could design an
+incremental conservative coalescing strategy for chordal graphs.  If G
+is chordal and (x, y) is an affinity that we absolutely want to
+coalesce because the corresponding move is expensive, we can decide if
+this is possible.  [...] if we coalesce the affinity, the graph may not
+be chordal anymore.  However, we can still make it chordal by an
+appropriate merge of vertices (as we do in the proof of the theorem)."*
+
+This module implements exactly that strategy:
+
+1. process affinities by decreasing weight;
+2. for each affinity (x, y), run the polynomial Theorem 5 test on the
+   *current* (chordal) graph with the original palette k;
+3. if mergeable, merge x, y **and the witness chain** — the proof's
+   construction — which keeps the graph chordal with clique number ≤ k,
+   so the invariant holds for the next affinity.  (Chain members are
+   pairwise non-adjacent: if two chain subtrees met off the path, the
+   tree path from the meeting node to P would land in both projections,
+   contradicting interval disjointness.)
+
+The paper also warns: *"these artificial merges may prevent to coalesce
+more important affinities afterwards"* — which is why affinities are
+taken in weight order and why the strategy is measured against the
+others in ``benchmarks/bench_ablation_strategies.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graphs.chordal import clique_number_chordal, is_chordal
+from ..graphs.graph import Vertex
+from ..graphs.interference import Coalescing, InterferenceGraph
+from .base import CoalescingResult, affinities_by_weight
+from .incremental import chordal_incremental_coalescible
+
+
+def chordal_incremental_coalesce(
+    graph: InterferenceGraph, k: int
+) -> CoalescingResult:
+    """Run the chordal incremental strategy on a chordal k-colorable
+    interference graph.
+
+    Raises ``ValueError`` if the input graph is not chordal or its
+    clique number exceeds ``k``.  The result's quotient is chordal with
+    ω ≤ k — hence greedy-k-colorable (Property 1).
+    """
+    structural = graph.structural_graph()
+    if not is_chordal(structural):
+        raise ValueError("input graph must be chordal")
+    if len(structural) and clique_number_chordal(structural) > k:
+        raise ValueError("input graph has a clique larger than k")
+
+    work = graph.copy()
+    coalescing = Coalescing(graph)
+    # each vertex of `work` stands for one coalescing class; `owner`
+    # maps it to a representative original vertex of that class
+    owner: Dict[Vertex, Vertex] = {v: v for v in graph.vertices}
+    rep_name: Dict[Vertex, Vertex] = {v: v for v in graph.vertices}
+
+    for u, v, w in affinities_by_weight(graph):
+        wu = rep_name[coalescing.find(u)]
+        wv = rep_name[coalescing.find(v)]
+        if wu == wv:
+            continue
+        if work.has_edge(wu, wv):
+            continue
+        witness = chordal_incremental_coalescible(work, wu, wv, k)
+        if not witness.mergeable:
+            continue
+        # merge x, y and the witness chain so the graph stays chordal
+        # with unchanged clique number (the proof's construction)
+        group = [wu, *witness.chain, wv]
+        merged = group[0]
+        for member in group[1:]:
+            coalescing.union(owner[group[0]], owner[member])
+            merged = work.merge_in_place(merged, member)
+            owner.pop(member, None)
+        rep = coalescing.find(u)
+        rep_name[rep] = merged
+        owner[merged] = owner[group[0]] if group[0] in owner else u
+
+    # final ledger from the partition itself: witness-chain merges can
+    # union the endpoints of affinities decided earlier
+    coalesced = [
+        (u, v, w)
+        for u, v, w in graph.affinities()
+        if coalescing.same_class(u, v)
+    ]
+    given_up = [
+        (u, v, w)
+        for u, v, w in graph.affinities()
+        if not coalescing.same_class(u, v)
+    ]
+    return CoalescingResult(
+        graph=graph,
+        coalescing=coalescing,
+        strategy="chordal-incremental",
+        coalesced=coalesced,
+        given_up=given_up,
+    )

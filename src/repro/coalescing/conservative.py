@@ -1,0 +1,202 @@
+"""Conservative coalescing (Section 4).
+
+Coalesce as many moves as possible while *keeping the graph colourable*.
+The decision problem is NP-complete even for k = 3 (Theorem 3), so
+practice uses incremental local tests applied one affinity at a time:
+
+* **Briggs**: merge u and v if the merged vertex has fewer than k
+  neighbours of degree ≥ k;
+* **George**: merge u and v if every neighbour of u of degree ≥ k is
+  already a neighbour of v (asymmetric — the paper notes it may be
+  applied in both directions when spilling is done beforehand);
+* **brute force**: merge, then re-check greedy-k-colorability of the
+  whole graph in linear time (the paper's suggestion at the end of
+  Section 4) — strictly more powerful than both local rules, as the
+  Figure 3 permutation gadget demonstrates.
+
+All tests preserve greedy-k-colorability, hence k-colorability.
+:func:`conservative_coalesce` iterates a worklist to a fixed point:
+coalescing one move can enable another (and with the brute-force test,
+even a previously-refused one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..graphs.graph import Vertex
+from ..graphs.interference import Coalescing, InterferenceGraph
+from ..graphs.greedy import is_greedy_k_colorable
+from .base import CoalescingResult, affinities_by_weight
+
+
+def briggs_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+    """Briggs' conservative test on the *current* graph.
+
+    The merged vertex's neighbourhood is N(u) ∪ N(v) \\ {u, v}; a common
+    neighbour's degree drops by one in the merged graph.  Safe when
+    fewer than k of those neighbours have (merged-graph) degree ≥ k.
+    """
+    if graph.has_edge(u, v):
+        return False
+    nu, nv = graph.neighbors_view(u), graph.neighbors_view(v)
+    significant = 0
+    for w in (nu | nv) - {u, v}:
+        degree = graph.degree(w)
+        if w in nu and w in nv:
+            degree -= 1  # its two edges to u and v become one
+        if degree >= k:
+            significant += 1
+            if significant >= k:
+                return False
+    return True
+
+
+def george_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+    """George's test: merge ``u`` into ``v``.
+
+    Safe when every neighbour of ``u`` either has degree < k or is
+    already a neighbour of ``v``.  Asymmetric: callers may also try the
+    swapped direction.
+    """
+    if graph.has_edge(u, v):
+        return False
+    nv = graph.neighbors_view(v)
+    return all(
+        graph.degree(t) < k or t in nv
+        for t in graph.neighbors_view(u)
+        if t != v
+    )
+
+
+def george_test_both(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+    """George's test tried in both directions (the paper's suggestion
+    when spilling has been done first, so any two vertices qualify)."""
+    return george_test(graph, u, v, k) or george_test(graph, v, u, k)
+
+
+def george_extended_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+    """The extension of George's rule mentioned in Section 4.
+
+    A neighbour ``t`` of ``u`` need not be a neighbour of ``v`` when
+    ``t`` itself has at most (k − 1) neighbours of degree ≥ k — such a
+    ``t`` is always removable by the greedy scheme once its low-degree
+    neighbours are gone (the Briggs argument applied to ``t``), so it
+    cannot block the merged vertex.  Costlier to evaluate (degree
+    inspection of the neighbours' neighbours), as the paper notes.
+    """
+    if graph.has_edge(u, v):
+        return False
+    nv = graph.neighbors_view(v)
+
+    def removable(t: Vertex) -> bool:
+        significant = 0
+        for s in graph.neighbors_view(t):
+            if graph.degree(s) >= k:
+                significant += 1
+                if significant >= k:
+                    return False
+        return True
+
+    return all(
+        t in nv or graph.degree(t) < k or removable(t)
+        for t in graph.neighbors_view(u)
+        if t != v
+    )
+
+
+def george_extended_test_both(
+    graph: InterferenceGraph, u: Vertex, v: Vertex, k: int
+) -> bool:
+    """The extended George test in both directions."""
+    return george_extended_test(graph, u, v, k) or george_extended_test(
+        graph, v, u, k
+    )
+
+
+def briggs_george_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+    """The combined rule used by iterated register coalescing."""
+    return briggs_test(graph, u, v, k) or george_test_both(graph, u, v, k)
+
+
+def brute_force_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+    """Merge ``u`` and ``v`` on a copy and re-check
+    greedy-k-colorability of the whole graph (linear time)."""
+    if graph.has_edge(u, v):
+        return False
+    merged = graph.merged(u, v)
+    return is_greedy_k_colorable(merged, k)
+
+
+ConservativeTest = Callable[[InterferenceGraph, Vertex, Vertex, int], bool]
+
+TESTS: dict = {
+    "briggs": briggs_test,
+    "george": george_test_both,
+    "george_extended": george_extended_test_both,
+    "briggs_george": briggs_george_test,
+    "brute": brute_force_test,
+}
+
+
+def conservative_coalesce(
+    graph: InterferenceGraph,
+    k: int,
+    test: str = "briggs_george",
+    check_input: bool = True,
+) -> CoalescingResult:
+    """Iterated conservative coalescing with the chosen test.
+
+    Processes affinities by decreasing weight; after any successful
+    merge, previously-refused affinities are retried (a merge can lower
+    degrees through common neighbours, or — with the brute-force test —
+    change the global answer).  Stops at a fixed point.
+
+    If ``check_input`` and the input graph is not greedy-k-colorable,
+    raises ``ValueError`` — conservative coalescing is only meaningful
+    on a colourable graph (the paper's setting: after spilling).
+    """
+    try:
+        test_fn = TESTS[test]
+    except KeyError:
+        raise ValueError(f"unknown test {test!r}; choose from {sorted(TESTS)}")
+    if check_input and not is_greedy_k_colorable(graph, k):
+        raise ValueError("input graph is not greedy-k-colorable")
+
+    work = graph.copy()
+    coalescing = Coalescing(graph)
+    # map each union-find representative to its vertex name in `work`
+    # (stale entries for superseded representatives are harmless)
+    rep_name = {v: v for v in graph.vertices}
+    progress = True
+    while progress:
+        progress = False
+        for u, v, w in affinities_by_weight(graph):
+            wu = rep_name[coalescing.find(u)]
+            wv = rep_name[coalescing.find(v)]
+            if wu == wv or work.has_edge(wu, wv):
+                continue
+            if test_fn(work, wu, wv, k):
+                work.merge_in_place(wu, wv)
+                coalescing.union(u, v)
+                rep_name[coalescing.find(u)] = wu
+                progress = True
+    # final ledger from the partition itself, so affinities coalesced
+    # transitively (endpoints unioned through other moves) are counted
+    coalesced = [
+        (u, v, w)
+        for u, v, w in graph.affinities()
+        if coalescing.same_class(u, v)
+    ]
+    given_up = [
+        (u, v, w)
+        for u, v, w in graph.affinities()
+        if not coalescing.same_class(u, v)
+    ]
+    return CoalescingResult(
+        graph=graph,
+        coalescing=coalescing,
+        strategy=f"conservative-{test}",
+        coalesced=coalesced,
+        given_up=given_up,
+    )

@@ -1,0 +1,232 @@
+"""Incremental conservative coalescing (Section 4, Theorems 4 and 5).
+
+The problem: given a k-colorable graph and ONE affinity (x, y), decide
+whether a k-colouring with f(x) = f(y) exists.
+
+* On arbitrary k-colorable graphs this is NP-complete even for k = 3
+  (Theorem 4) — :func:`incremental_coalescible_exact` answers it by
+  exact search and is the oracle the reduction tests use.
+* On **chordal** graphs it is polynomial (Theorem 5) —
+  :func:`chordal_incremental_coalescible` implements the paper's
+  algorithm: clique-tree path, subtree-to-interval projection, padding
+  with short intervals, and a left-to-right marking (reachability) over
+  disjoint contiguous intervals.
+
+The chordal routine also returns a *witness*: the set of vertices to
+merge with {x, y} so the coalesced graph stays chordal with unchanged
+clique number — from which an explicit k-colouring with f(x) = f(y) is
+recovered (``chordal_incremental_coloring``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.chordal import (
+    CliqueTree,
+    chordal_coloring,
+    clique_tree,
+    is_chordal,
+)
+from ..graphs.coloring import k_coloring_exact
+from ..graphs.graph import Graph, Vertex
+
+
+def incremental_coalescible_exact(
+    graph: Graph, x: Vertex, y: Vertex, k: int
+) -> Optional[Dict[Vertex, int]]:
+    """Exact answer on any graph: a k-colouring with f(x) = f(y), or
+    None.  Exponential worst case (the problem is NP-complete)."""
+    return k_coloring_exact(graph, k, same_color=[(x, y)])
+
+
+@dataclass
+class IntervalWitness:
+    """Outcome of the Theorem 5 algorithm.
+
+    ``mergeable`` — can x and y share a colour; ``chain`` — the vertices
+    (other than x, y) whose subtrees form the disjoint interval chain
+    covering the clique-tree path (empty when x, y sit in different
+    connected components or the path is trivial); ``path`` — the clique
+    indices of the path used.
+    """
+
+    mergeable: bool
+    chain: List[Vertex]
+    path: List[int]
+
+
+def chordal_incremental_coalescible(
+    graph: Graph, x: Vertex, y: Vertex, k: int
+) -> IntervalWitness:
+    """Theorem 5: polynomial incremental coalescing test on a chordal
+    graph.
+
+    Steps, following the paper's proof:
+
+    1. If x and y interfere, or ω(G) > k, the answer is no.
+    2. Build the clique tree; take the path P between the subtrees
+       ``T_x`` and ``T_y``, trimmed so only its first node meets
+       ``T_x`` and only its last meets ``T_y``.
+    3. Project every vertex's subtree onto P — each projection is a
+       contiguous interval because the intersection of two subtrees of
+       a tree is connected.
+    4. Pad every node of P to exactly k intervals with fresh
+       single-node intervals (possible since each node is a clique of
+       size ≤ ω(G) ≤ k).
+    5. x and y can share a colour iff there is a chain of pairwise
+       disjoint contiguous intervals from ``I_x`` to ``I_y`` covering P
+       — found by a left-to-right marking in O(|V| · ω(G)).
+    """
+    if k <= 0:
+        return IntervalWitness(False, [], [])
+    if graph.has_edge(x, y):
+        return IntervalWitness(False, [], [])
+    tree = clique_tree(graph)
+    if tree.cliques and max(len(c) for c in tree.cliques) > k:
+        return IntervalWitness(False, [], [])
+
+    x_nodes = tree.subtree.get(x, set())
+    y_nodes = tree.subtree.get(y, set())
+    if not x_nodes or not y_nodes:
+        raise KeyError("x and y must be vertices of the graph")
+    if x_nodes & y_nodes:
+        # same maximal clique but no edge is impossible
+        raise AssertionError("non-adjacent vertices share a maximal clique")
+
+    path = _tree_path_between(tree, x_nodes, y_nodes)
+    if path is None:
+        # different connected components: colour them independently
+        return IntervalWitness(True, [], [])
+
+    # 3. project subtrees onto the path
+    pos = {node: i for i, node in enumerate(path)}
+    n = len(path)
+    intervals: Dict[Vertex, Tuple[int, int]] = {}
+    for v, nodes in tree.subtree.items():
+        hit = [pos[t] for t in nodes if t in pos]
+        if hit:
+            lo, hi = min(hit), max(hit)
+            intervals[v] = (lo, hi)
+    ix = intervals[x]
+    iy = intervals[y]
+    if ix != (0, 0) or iy != (n - 1, n - 1):
+        raise AssertionError("path trimming failed")
+
+    # 4. how many fresh single-node intervals fit at each node
+    load = [0] * n
+    for lo, hi in intervals.values():
+        for i in range(lo, hi + 1):
+            load[i] += 1
+    slack = [k - c for c in load]
+    if any(s < 0 for s in slack):
+        raise AssertionError("clique larger than k survived the ω check")
+
+    # 5. marking: reached[p] = a disjoint chain from I_x ends exactly at p
+    by_lo: Dict[int, List[Tuple[int, Vertex]]] = {}
+    for v, (lo, hi) in intervals.items():
+        if v in (x, y):
+            continue
+        by_lo.setdefault(lo, []).append((hi, v))
+    parent: Dict[int, Tuple[int, Optional[Vertex]]] = {}
+    frontier = [0]
+    reached: Set[int] = {0}
+    while frontier:
+        p = frontier.pop()
+        nxt = p + 1
+        if nxt > n - 1:
+            continue
+        # fresh single-node interval at nxt
+        if slack[nxt] > 0 and nxt not in reached and nxt != n - 1:
+            reached.add(nxt)
+            parent[nxt] = (p, None)
+            frontier.append(nxt)
+        for hi, v in by_lo.get(nxt, ()):  # real intervals starting at nxt
+            if hi <= n - 2 and hi not in reached:
+                reached.add(hi)
+                parent[hi] = (p, v)
+                frontier.append(hi)
+    # the chain must hand over to I_y = [n-1, n-1]; n ≥ 2 here because
+    # x and y never share a maximal clique
+    if (n - 2) not in reached:
+        return IntervalWitness(False, [], path)
+
+    # reconstruct the chain of real vertices
+    chain: List[Vertex] = []
+    p = n - 2
+    while p != 0:
+        prev, v = parent[p]
+        if v is not None:
+            chain.append(v)
+        p = prev
+    chain.reverse()
+    return IntervalWitness(True, chain, path)
+
+
+def _tree_path_between(
+    tree: CliqueTree, from_nodes: Set[int], to_nodes: Set[int]
+) -> Optional[List[int]]:
+    """The clique-tree path from ``from_nodes`` to ``to_nodes``, trimmed
+    so only its endpoints belong to the respective subtrees.  None when
+    they lie in different components."""
+    adj = tree.adjacency()
+    prev: Dict[int, int] = {s: s for s in from_nodes}
+    queue = list(from_nodes)
+    end: Optional[int] = None
+    for q in queue:
+        if q in to_nodes:
+            end = q
+            break
+    i = 0
+    while end is None and i < len(queue):
+        node = queue[i]
+        i += 1
+        for t in adj[node]:
+            if t not in prev:
+                prev[t] = node
+                if t in to_nodes:
+                    end = t
+                    break
+                queue.append(t)
+    if end is None:
+        return None
+    path = [end]
+    while prev[path[-1]] != path[-1]:
+        path.append(prev[path[-1]])
+    path.reverse()
+    # path now runs from some node of from_nodes to the first node of
+    # to_nodes; trim the front so only path[0] is in from_nodes
+    last_from = max(i for i, t in enumerate(path) if t in from_nodes)
+    path = path[last_from:]
+    return path
+
+
+def chordal_incremental_coloring(
+    graph: Graph, x: Vertex, y: Vertex, k: int
+) -> Optional[Dict[Vertex, int]]:
+    """An explicit k-colouring with f(x) = f(y) on a chordal graph, or
+    None.
+
+    Uses the witness chain from Theorem 5: merging x, y, and the chain
+    vertices yields a chordal graph with ω ≤ k; its optimal colouring is
+    pulled back to the original vertices.
+    """
+    witness = chordal_incremental_coalescible(graph, x, y, k)
+    if not witness.mergeable:
+        return None
+    merged = graph.copy()
+    group = [x, *witness.chain, y]
+    rep = group[0]
+    for v in group[1:]:
+        rep = merged.merge_in_place(rep, v, into=rep)
+    coloring = chordal_coloring(merged)
+    if max(coloring.values(), default=-1) + 1 > k:
+        raise AssertionError("witness merge raised the clique number")
+    out = dict(coloring)
+    for v in group:
+        out[v] = coloring[rep]
+    for v in graph.vertices:
+        if v not in out:
+            raise AssertionError(f"vertex {v!r} lost during merge")
+    return out

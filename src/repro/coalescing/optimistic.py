@@ -1,0 +1,176 @@
+"""Optimistic coalescing (Section 5, after Park and Moon).
+
+The "dual" of conservative coalescing: first coalesce *aggressively*
+(ignoring colourability), then **de-coalesce** — give up as few moves as
+possible until the graph is greedy-k-colorable again.  Deciding the
+minimum number of moves to give up is NP-complete (Theorem 6, by
+reduction from vertex cover), so the library provides:
+
+* :func:`optimistic_coalesce` — the practical heuristic: aggressive
+  phase, then repeatedly dissolve the cheapest merged class that blocks
+  the greedy elimination (the class is *split back into primitive
+  vertices*, as Park–Moon do), with a final conservative re-coalescing
+  pass over the dissolved affinities;
+* :func:`decoalesce_minimum` — exact minimum de-coalescing by iterative
+  deepening over the set of given-up affinities, for reduction-sized
+  instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.graph import Vertex
+from ..graphs.greedy import dense_subgraph_witness, is_greedy_k_colorable
+from ..graphs.interference import Coalescing, InterferenceGraph
+from .aggressive import aggressive_coalesce
+from .base import CoalescingResult, affinities_by_weight
+from .conservative import brute_force_test
+
+
+def optimistic_coalesce(
+    graph: InterferenceGraph, k: int, recoalesce: bool = True
+) -> CoalescingResult:
+    """Aggressive coalescing followed by heuristic de-coalescing.
+
+    De-coalescing loop: while the quotient graph is not
+    greedy-k-colorable, take the witness subgraph in which every vertex
+    has degree ≥ k, pick among its merged classes the one with the
+    smallest internal affinity weight, and dissolve it back into
+    primitive vertices.  Finally (``recoalesce``), retry each dissolved
+    affinity with the brute-force conservative test — Park and Moon's
+    refinement that recovers moves the coarse dissolution gave up
+    needlessly.
+    """
+    aggressive = aggressive_coalesce(graph)
+    classes: List[Set[Vertex]] = [set(c) for c in aggressive.coalescing.classes()]
+    dissolved_pairs: List[Tuple[Vertex, Vertex]] = []
+
+    def build(coal_classes: Sequence[Set[Vertex]]) -> Coalescing:
+        c = Coalescing(graph)
+        for group in coal_classes:
+            members = sorted(group, key=str)
+            for other in members[1:]:
+                c.union(members[0], other)
+        return c
+
+    while True:
+        coalescing = build(classes)
+        quotient = coalescing.coalesced_graph()
+        witness = dense_subgraph_witness(quotient, k)
+        if witness is None:
+            break
+        rep_to_class: Dict[Vertex, Set[Vertex]] = {}
+        for group in classes:
+            rep = coalescing.find(next(iter(group)))
+            rep_to_class[rep] = group
+        blockers = [
+            rep_to_class[r]
+            for r in witness
+            if r in rep_to_class and len(rep_to_class[r]) > 1
+        ]
+        if not blockers:
+            # every witness vertex is primitive: the original graph is
+            # itself not greedy-k-colorable
+            raise ValueError(
+                "input graph is not greedy-k-colorable; optimistic "
+                "coalescing cannot fix spills"
+            )
+        cheapest = min(blockers, key=lambda c: _internal_weight(graph, c))
+        classes.remove(cheapest)
+        for v in cheapest:
+            classes.append({v})
+        dissolved_pairs.extend(
+            (u, v)
+            for u, v, _ in graph.affinities()
+            if u in cheapest and v in cheapest
+        )
+
+    coalescing = build(classes)
+    if recoalesce and dissolved_pairs:
+        work = coalescing.coalesced_graph()
+        rep_name = {v: coalescing.find(v) for v in graph.vertices}
+        for u, v, _ in affinities_by_weight(graph):
+            if (u, v) not in dissolved_pairs and (v, u) not in dissolved_pairs:
+                continue
+            wu, wv = rep_name[coalescing.find(u)], rep_name[coalescing.find(v)]
+            if wu == wv or work.has_edge(wu, wv):
+                continue
+            if brute_force_test(work, wu, wv, k):
+                work.merge_in_place(wu, wv)
+                coalescing.union(u, v)
+                rep_name[coalescing.find(u)] = wu
+
+    coalesced = [
+        (u, v, w)
+        for u, v, w in graph.affinities()
+        if coalescing.same_class(u, v)
+    ]
+    given_up = [
+        (u, v, w)
+        for u, v, w in graph.affinities()
+        if not coalescing.same_class(u, v)
+    ]
+    return CoalescingResult(
+        graph=graph,
+        coalescing=coalescing,
+        strategy="optimistic",
+        coalesced=coalesced,
+        given_up=given_up,
+    )
+
+
+def _internal_weight(graph: InterferenceGraph, group: Set[Vertex]) -> float:
+    return sum(
+        w for u, v, w in graph.affinities() if u in group and v in group
+    )
+
+
+def decoalesce_minimum(
+    graph: InterferenceGraph,
+    k: int,
+    full: Optional[Coalescing] = None,
+    max_give_up: Optional[int] = None,
+) -> Optional[List[Tuple[Vertex, Vertex]]]:
+    """Exact minimum de-coalescing (the Theorem 6 optimization).
+
+    Given a coalescing ``full`` in which every affinity is coalesced
+    (default: build it, failing if the affinities cannot all be
+    coalesced), find a minimum-cardinality set of affinities to give up
+    so that the de-coalesced quotient is greedy-k-colorable.
+
+    De-coalescing is monotone — splitting a class of a
+    greedy-k-colorable quotient distributes the merged vertex's edges
+    over non-adjacent parts, which keeps the elimination going — so
+    iterative deepening over the give-up set size is exact: the first
+    size that succeeds equals the optimum residual move count.  Exponential: reduction-sized instances only.  Returns the
+    affinity pairs to give up, or None if even full de-coalescing (the
+    original graph) is not greedy-k-colorable or the deepening limit
+    ``max_give_up`` is exhausted.
+    """
+    affinities = [(u, v) for u, v, _ in affinities_by_weight(graph)]
+    if full is None:
+        full = Coalescing(graph)
+        for u, v in affinities:
+            if not full.can_union(u, v):
+                raise ValueError(
+                    "not all affinities can be coalesced aggressively"
+                )
+            full.union(u, v)
+    if not is_greedy_k_colorable(graph, k):
+        return None
+    limit = len(affinities) if max_give_up is None else max_give_up
+
+    def quotient_ok(give_up: Set[int]) -> bool:
+        c = Coalescing(graph)
+        for i, (u, v) in enumerate(affinities):
+            if i not in give_up and c.can_union(u, v):
+                c.union(u, v)
+        return is_greedy_k_colorable(c.coalesced_graph(), k)
+
+    for size in range(0, limit + 1):
+        for subset in combinations(range(len(affinities)), size):
+            if quotient_ok(set(subset)):
+                return [affinities[i] for i in subset]
+    return None

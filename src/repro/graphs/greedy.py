@@ -1,0 +1,137 @@
+"""Greedy-k-colorability (Chaitin's simplification scheme).
+
+Section 2.2 of the paper: a graph is *greedy-k-colorable* iff repeatedly
+removing some vertex of degree < k empties the graph.  The removal order
+(in reverse) then yields a k-colouring greedily.  The smallest k for
+which this works is the colouring number col(G) = 1 + max over subgraphs
+of the minimum degree, computed by the smallest-last order.
+
+These routines are the workhorse of the conservative brute-force test
+("merge, then check greedy-k-colorability in linear time") and of the
+optimistic de-coalescing phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .graph import Graph, Vertex
+
+
+def greedy_elimination_order(graph: Graph, k: int) -> Tuple[List[Vertex], bool]:
+    """Run Chaitin's elimination scheme with threshold ``k``.
+
+    Returns ``(order, success)``: the vertices removed, in removal order,
+    and whether the graph was fully eliminated.  The order in which
+    candidates are picked does not affect success (the scheme is
+    confluent — Section 2.2), so a simple worklist suffices.  O(V+E).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    degree: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices}
+    removed: Dict[Vertex, bool] = {v: False for v in graph.vertices}
+    worklist: List[Vertex] = [v for v, d in degree.items() if d < k]
+    order: List[Vertex] = []
+    while worklist:
+        v = worklist.pop()
+        if removed[v] or degree[v] >= k:
+            continue
+        removed[v] = True
+        order.append(v)
+        for u in graph.neighbors_view(v):
+            if not removed[u]:
+                degree[u] -= 1
+                if degree[u] == k - 1:
+                    worklist.append(u)
+    return order, len(order) == len(graph)
+
+
+def is_greedy_k_colorable(graph: Graph, k: int) -> bool:
+    """True iff the elimination scheme with threshold ``k`` empties G."""
+    _, success = greedy_elimination_order(graph, k)
+    return success
+
+
+def greedy_k_coloring(graph: Graph, k: int) -> Optional[Dict[Vertex, int]]:
+    """A k-colouring obtained by the greedy scheme, or None.
+
+    Colours vertices in reverse elimination order, giving each the
+    smallest colour unused among already-coloured neighbours; possible
+    because each vertex had < k neighbours remaining when removed.
+    """
+    order, success = greedy_elimination_order(graph, k)
+    if not success:
+        return None
+    coloring: Dict[Vertex, int] = {}
+    for v in reversed(order):
+        used = {coloring[u] for u in graph.neighbors_view(v) if u in coloring}
+        c = 0
+        while c in used:
+            c += 1
+        if c >= k:
+            raise AssertionError("greedy scheme produced an over-budget colour")
+        coloring[v] = c
+    return coloring
+
+
+def smallest_last_order(graph: Graph) -> List[Vertex]:
+    """A smallest-last ordering x1, ..., xn.
+
+    x_i has minimum degree in the subgraph after removing x1..x_{i-1}.
+    Lazy-heap implementation, O((V+E) log V).
+    """
+    import heapq
+
+    degree: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices}
+    index = {v: i for i, v in enumerate(graph.vertices)}
+    heap = [(d, index[v], v) for v, d in degree.items()]
+    heapq.heapify(heap)
+    removed: Dict[Vertex, bool] = {v: False for v in graph.vertices}
+    order: List[Vertex] = []
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if removed[v] or d != degree[v]:
+            continue
+        removed[v] = True
+        order.append(v)
+        for u in graph.neighbors_view(v):
+            if not removed[u]:
+                degree[u] -= 1
+                heapq.heappush(heap, (degree[u], index[u], u))
+    return order
+
+
+def coloring_number(graph: Graph) -> int:
+    """col(G) = 1 + max_i of the min degree along a smallest-last order.
+
+    By Section 2.2, G is greedy-k-colorable iff k ≥ col(G); equivalently
+    col(G) - 1 is the degeneracy: the maximum over subgraphs G' of the
+    minimum degree of G'.  Returns 0 for the empty graph.
+    """
+    if len(graph) == 0:
+        return 0
+    order = smallest_last_order(graph)
+    degree: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices}
+    removed: Dict[Vertex, bool] = {v: False for v in graph.vertices}
+    best = 0
+    for v in order:
+        best = max(best, degree[v])
+        removed[v] = True
+        for u in graph.neighbors_view(v):
+            if not removed[u]:
+                degree[u] -= 1
+    return best + 1
+
+
+def dense_subgraph_witness(graph: Graph, k: int) -> Optional[List[Vertex]]:
+    """A witness that G is not greedy-k-colorable, or None.
+
+    Returns the vertex set left over by the elimination scheme: a
+    subgraph in which every vertex has degree ≥ k (the characterization
+    at the end of Section 2.2).
+    """
+    order, success = greedy_elimination_order(graph, k)
+    if success:
+        return None
+    eliminated = set(order)
+    return [v for v in graph.vertices if v not in eliminated]

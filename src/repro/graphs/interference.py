@@ -1,0 +1,319 @@
+"""Interference graphs with affinities.
+
+An interference graph (Section 2.1 of the paper) is an undirected graph
+whose vertices are variables/live ranges and whose edges are
+*interferences*; on top of it, *affinities* record move instructions
+between pairs of variables.  Coalescing an affinity ``(u, v)`` means
+assigning ``u`` and ``v`` the same colour, which is only possible when
+they do not interfere.
+
+A :class:`Coalescing` is the function ``f`` of the paper: a partition of
+the vertices into classes such that no class contains two interfering
+vertices.  ``coalesced_graph`` builds :math:`G_f`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .graph import Graph, Vertex
+
+Affinity = Tuple[Vertex, Vertex]
+
+
+def _key(u: Vertex, v: Vertex) -> FrozenSet[Vertex]:
+    return frozenset((u, v))
+
+
+class InterferenceGraph(Graph):
+    """A graph with a parallel set of weighted affinities.
+
+    Affinities are unordered pairs of distinct vertices, each with a
+    positive weight (the dynamic execution count of the move).  An
+    affinity may coexist with an interference edge on the same pair —
+    this happens in real programs (e.g. a move between variables that
+    also interfere elsewhere); such an affinity is *frozen*: it can never
+    be coalesced, but it still counts in the "not coalesced" cost.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Tuple[Vertex, Vertex]] = (),
+        affinities: Iterable[Affinity] = (),
+    ) -> None:
+        super().__init__(vertices, edges)
+        self._affinities: Dict[FrozenSet[Vertex], float] = {}
+        for u, v in affinities:
+            self.add_affinity(u, v)
+
+    # ------------------------------------------------------------------
+    # affinities
+    # ------------------------------------------------------------------
+    def add_affinity(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Add (or re-weight, accumulating) the affinity ``(u, v)``."""
+        if u == v:
+            raise ValueError(f"affinity endpoints must differ, got {u!r}")
+        if weight <= 0:
+            raise ValueError(f"affinity weight must be positive, got {weight}")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        key = _key(u, v)
+        self._affinities[key] = self._affinities.get(key, 0.0) + weight
+
+    def remove_affinity(self, u: Vertex, v: Vertex) -> None:
+        """Remove the affinity ``(u, v)``; raise ``KeyError`` if absent."""
+        del self._affinities[_key(u, v)]
+
+    def has_affinity(self, u: Vertex, v: Vertex) -> bool:
+        """True iff there is an affinity between ``u`` and ``v``."""
+        return _key(u, v) in self._affinities
+
+    def affinity_weight(self, u: Vertex, v: Vertex) -> float:
+        """Weight of the affinity ``(u, v)`` (0.0 if absent)."""
+        return self._affinities.get(_key(u, v), 0.0)
+
+    def affinities(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Iterate over ``(u, v, weight)`` triples, each affinity once.
+
+        Endpoints are ordered by ``str`` so iteration is deterministic
+        regardless of hash randomization.
+        """
+        for key, w in self._affinities.items():
+            u, v = sorted(key, key=str)
+            yield (u, v, w)
+
+    def num_affinities(self) -> int:
+        """Number of distinct affinity pairs."""
+        return len(self._affinities)
+
+    def total_affinity_weight(self) -> float:
+        """Sum of all affinity weights."""
+        return sum(self._affinities.values())
+
+    def affinity_neighbors(self, v: Vertex) -> Set[Vertex]:
+        """Vertices connected to ``v`` by an affinity."""
+        out: Set[Vertex] = set()
+        for key in self._affinities:
+            if v in key:
+                (other,) = key - {v}
+                out.add(other)
+        return out
+
+    def coalescable_affinities(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Affinities whose endpoints do not (currently) interfere."""
+        for u, v, w in self.affinities():
+            if not self.has_edge(u, v):
+                yield (u, v, w)
+
+    # ------------------------------------------------------------------
+    # overrides keeping affinities consistent
+    # ------------------------------------------------------------------
+    def remove_vertex(self, v: Vertex) -> None:
+        super().remove_vertex(v)
+        self._affinities = {
+            key: w for key, w in self._affinities.items() if v not in key
+        }
+
+    def copy(self) -> "InterferenceGraph":
+        g = InterferenceGraph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._affinities = dict(self._affinities)
+        return g
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "InterferenceGraph":
+        keep_set = set(keep)
+        base = super().subgraph(keep_set)
+        g = InterferenceGraph()
+        g._adj = base._adj
+        g._affinities = {
+            key: w for key, w in self._affinities.items() if key <= keep_set
+        }
+        return g
+
+    def structural_graph(self) -> Graph:
+        """The interference structure alone, without affinities."""
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def merge_in_place(self, u: Vertex, v: Vertex, into: Optional[Vertex] = None) -> Vertex:
+        """Coalesce ``u`` and ``v`` destructively, folding affinities.
+
+        Affinities incident to either endpoint are re-attached to the
+        merged vertex, accumulating weights; the affinity between ``u``
+        and ``v`` itself disappears (it has been coalesced).  An affinity
+        whose re-attachment would coincide with an interference edge is
+        kept: it becomes frozen (uncoalescable) but its weight still
+        matters for the objective.
+        """
+        # snapshot first: the base merge removes u and v through
+        # remove_vertex, which would strip their affinities
+        old = dict(self._affinities)
+        name = super().merge_in_place(u, v, into=into)
+        self._affinities = {}
+        for key, w in old.items():
+            ends = set(key)
+            if ends == {u, v}:
+                continue  # the coalesced move itself
+            renamed = {name if x in (u, v) else x for x in ends}
+            if len(renamed) == 1:
+                continue  # both endpoints merged into the same vertex
+            a, b = tuple(renamed)
+            new_key = _key(a, b)
+            self._affinities[new_key] = self._affinities.get(new_key, 0.0) + w
+        return name
+
+    def merged(self, u: Vertex, v: Vertex, into: Optional[Vertex] = None) -> "InterferenceGraph":
+        g = self.copy()
+        g.merge_in_place(u, v, into=into)
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"InterferenceGraph(|V|={len(self)}, |E|={self.num_edges()}, "
+            f"|A|={self.num_affinities()})"
+        )
+
+
+class Coalescing:
+    """A coalescing ``f`` of an interference graph (Section 2.1).
+
+    Represented as a partition of the vertex set via union-find.  The
+    invariant enforced at every union is that no class contains two
+    interfering vertices — i.e. ``f`` is a valid colouring with an
+    unbounded palette.
+    """
+
+    def __init__(self, graph: InterferenceGraph) -> None:
+        self.graph = graph
+        self._parent: Dict[Vertex, Vertex] = {v: v for v in graph.vertices}
+        self._rank: Dict[Vertex, int] = {v: 0 for v in graph.vertices}
+        # members of each class, keyed by representative
+        self._members: Dict[Vertex, Set[Vertex]] = {v: {v} for v in graph.vertices}
+
+    def find(self, v: Vertex) -> Vertex:
+        """Representative of the class of ``v`` (path-halving)."""
+        parent = self._parent
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def same_class(self, u: Vertex, v: Vertex) -> bool:
+        """True iff ``u`` and ``v`` are coalesced together."""
+        return self.find(u) == self.find(v)
+
+    def members(self, v: Vertex) -> FrozenSet[Vertex]:
+        """All vertices in the class of ``v``."""
+        return frozenset(self._members[self.find(v)])
+
+    def can_union(self, u: Vertex, v: Vertex) -> bool:
+        """True iff merging the classes of ``u`` and ``v`` is legal."""
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            return True
+        graph = self.graph
+        small, large = self._members[ru], self._members[rv]
+        if len(small) > len(large):
+            small, large = large, small
+        return not any(
+            (graph.neighbors_view(x) & large) for x in small
+        )
+
+    def union(self, u: Vertex, v: Vertex) -> bool:
+        """Merge the classes of ``u`` and ``v``.
+
+        Returns True on success; raises ``ValueError`` if the union would
+        put two interfering vertices in the same class.  Returns True
+        silently when already in the same class.
+        """
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            return True
+        if not self.can_union(ru, rv):
+            raise ValueError(
+                f"classes of {u!r} and {v!r} contain interfering vertices"
+            )
+        if self._rank[ru] < self._rank[rv]:
+            ru, rv = rv, ru
+        self._parent[rv] = ru
+        if self._rank[ru] == self._rank[rv]:
+            self._rank[ru] += 1
+        self._members[ru] |= self._members.pop(rv)
+        return True
+
+    def classes(self) -> List[FrozenSet[Vertex]]:
+        """All classes of the partition."""
+        return [frozenset(s) for s in self._members.values()]
+
+    def as_mapping(self) -> Dict[Vertex, Vertex]:
+        """Map each vertex to its class representative."""
+        return {v: self.find(v) for v in self.graph.vertices}
+
+    # ------------------------------------------------------------------
+    # objective
+    # ------------------------------------------------------------------
+    def uncoalesced_affinities(self) -> List[Tuple[Vertex, Vertex, float]]:
+        """Affinities whose endpoints are in different classes."""
+        return [
+            (u, v, w)
+            for u, v, w in self.graph.affinities()
+            if not self.same_class(u, v)
+        ]
+
+    def uncoalesced_weight(self) -> float:
+        """Total weight of affinities not coalesced (the paper's cost K)."""
+        return sum(w for _, _, w in self.uncoalesced_affinities())
+
+    def coalesced_weight(self) -> float:
+        """Total weight of coalesced affinities (the savings)."""
+        return self.graph.total_affinity_weight() - self.uncoalesced_weight()
+
+    # ------------------------------------------------------------------
+    # quotient
+    # ------------------------------------------------------------------
+    def coalesced_graph(self) -> InterferenceGraph:
+        """The quotient graph :math:`G_f` (Section 2.1).
+
+        Vertices are class representatives; there is an interference
+        between two classes iff some pair across them interferes, and an
+        affinity (with accumulated weight) iff some uncoalesced affinity
+        crosses them.
+        """
+        g = InterferenceGraph()
+        rep = self.as_mapping()
+        for v in self.graph.vertices:
+            g.add_vertex(rep[v])
+        for u, v in self.graph.edges():
+            ru, rv = rep[u], rep[v]
+            if ru == rv:
+                raise ValueError(
+                    f"invalid coalescing: {u!r} and {v!r} interfere "
+                    "but share a class"
+                )
+            g.add_edge(ru, rv)
+        for u, v, w in self.graph.affinities():
+            ru, rv = rep[u], rep[v]
+            if ru != rv and not g.has_edge(ru, rv):
+                g.add_affinity(ru, rv, w)
+        return g
+
+
+def coalescing_from_mapping(
+    graph: InterferenceGraph, mapping: Mapping[Vertex, Hashable]
+) -> Coalescing:
+    """Build a :class:`Coalescing` from any function on the vertices.
+
+    Vertices with equal ``mapping`` values land in the same class.
+    Raises ``ValueError`` if the induced partition is not a valid
+    coalescing (two interfering vertices mapped together).
+    """
+    by_value: Dict[Hashable, List[Vertex]] = {}
+    for v in graph.vertices:
+        by_value.setdefault(mapping[v], []).append(v)
+    coalescing = Coalescing(graph)
+    for group in by_value.values():
+        for other in group[1:]:
+            coalescing.union(group[0], other)
+    return coalescing

@@ -1,0 +1,146 @@
+"""Graph interchange: DIMACS and Graphviz DOT.
+
+DIMACS is the lingua franca of colouring benchmarks, so interference
+graphs can be exchanged with external solvers; affinities are carried
+in an extension line (``a U V WEIGHT``) that plain DIMACS readers skip
+as a comment-free unknown (writers may also emit them as comments with
+``strict=True``).  DOT output draws interferences as solid edges and
+affinities as dashed ones — the paper's figure convention.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .graph import Graph, Vertex
+from .interference import InterferenceGraph
+
+
+def write_dimacs(
+    graph: Graph,
+    stream: TextIO,
+    comment: Optional[str] = None,
+    strict: bool = False,
+) -> Dict[Vertex, int]:
+    """Write a graph in DIMACS ``.col`` format.
+
+    Vertices are numbered 1..n in insertion order; the mapping used is
+    returned.  If the graph carries affinities, they are emitted as
+    ``a u v w`` lines (or ``c a u v w`` comments when ``strict``).
+    """
+    index = {v: i + 1 for i, v in enumerate(graph.vertices)}
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    for v, i in index.items():
+        stream.write(f"c node {i} = {v}\n")
+    stream.write(f"p edge {len(index)} {graph.num_edges()}\n")
+    for u, v in graph.edges():
+        stream.write(f"e {index[u]} {index[v]}\n")
+    if isinstance(graph, InterferenceGraph):
+        prefix = "c a" if strict else "a"
+        for u, v, w in graph.affinities():
+            stream.write(f"{prefix} {index[u]} {index[v]} {w:g}\n")
+    return index
+
+
+def dumps_dimacs(graph: Graph, **kwargs) -> str:
+    """DIMACS text of a graph."""
+    buf = io.StringIO()
+    write_dimacs(graph, buf, **kwargs)
+    return buf.getvalue()
+
+
+def read_dimacs(stream: TextIO) -> InterferenceGraph:
+    """Read a DIMACS ``.col`` file (with the affinity extension).
+
+    ``c node I = NAME`` comments restore original vertex names; other
+    comments are ignored.  Returns an :class:`InterferenceGraph` (which
+    is a plain graph when no ``a`` lines are present).
+    """
+    names: Dict[int, str] = {}
+    edges: List[Tuple[int, int]] = []
+    affinities: List[Tuple[int, int, float]] = []
+    declared: Optional[int] = None
+    for lineno, raw in enumerate(stream, start=1):
+        parts = raw.split()
+        if not parts:
+            continue
+        kind = parts[0]
+        if kind == "c":
+            if len(parts) >= 5 and parts[1] == "node" and parts[3] == "=":
+                names[int(parts[2])] = " ".join(parts[4:])
+            elif len(parts) == 5 and parts[1] == "a":
+                affinities.append(
+                    (int(parts[2]), int(parts[3]), float(parts[4]))
+                )
+        elif kind == "p":
+            if len(parts) != 4 or parts[1] not in ("edge", "col"):
+                raise ValueError(f"line {lineno}: malformed problem line")
+            declared = int(parts[2])
+        elif kind == "e":
+            if len(parts) != 3:
+                raise ValueError(f"line {lineno}: malformed edge line")
+            edges.append((int(parts[1]), int(parts[2])))
+        elif kind == "a":
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed affinity line")
+            affinities.append((int(parts[1]), int(parts[2]), float(parts[3])))
+        else:
+            raise ValueError(f"line {lineno}: unknown record {kind!r}")
+    if declared is None:
+        raise ValueError("missing DIMACS problem line")
+
+    def name_of(i: int) -> str:
+        return names.get(i, str(i))
+
+    g = InterferenceGraph(
+        vertices=[name_of(i) for i in range(1, declared + 1)]
+    )
+    for a, b in edges:
+        g.add_edge(name_of(a), name_of(b))
+    for a, b, w in affinities:
+        g.add_affinity(name_of(a), name_of(b), w)
+    return g
+
+
+def loads_dimacs(text: str) -> InterferenceGraph:
+    """Parse DIMACS from a string."""
+    return read_dimacs(io.StringIO(text))
+
+
+def to_dot(
+    graph: Graph,
+    name: str = "G",
+    coloring: Optional[Dict[Vertex, int]] = None,
+) -> str:
+    """Render a graph (and its affinities) as Graphviz DOT.
+
+    Interferences are solid, affinities dashed with their weight as a
+    label — the paper's drawing convention.  An optional colouring maps
+    to a small fill palette.
+    """
+    palette = [
+        "lightblue", "lightpink", "lightgreen", "khaki",
+        "plum", "lightsalmon", "lightcyan", "wheat",
+    ]
+    lines = [f"graph {name} {{", "  node [style=filled];"]
+    for v in graph.vertices:
+        attrs = []
+        if coloring is not None and v in coloring:
+            attrs.append(
+                f'fillcolor="{palette[coloring[v] % len(palette)]}"'
+            )
+        else:
+            attrs.append('fillcolor="white"')
+        lines.append(f'  "{v}" [{", ".join(attrs)}];')
+    for u, v in graph.edges():
+        lines.append(f'  "{u}" -- "{v}";')
+    if isinstance(graph, InterferenceGraph):
+        for u, v, w in graph.affinities():
+            lines.append(
+                f'  "{u}" -- "{v}" [style=dashed, label="{w:g}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""Dominance: dominator tree and dominance frontiers.
+
+Cooper–Harvey–Kennedy's "A Simple, Fast Dominance Algorithm": iterate
+``idom`` to a fixed point over reverse postorder, intersecting paths in
+the partially-built tree.  Dominance frontiers follow Cytron et al.'s
+definition computed the CHK way (walk up from each join predecessor).
+
+The dominance *tree* is the backbone of Theorem 1: SSA live ranges are
+subtrees of it, which is why strict-SSA interference graphs are chordal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import Function
+
+
+class DominatorTree:
+    """Immediate dominators, tree children, and dominance queries."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.idom: Dict[str, Optional[str]] = {}
+        self.children: Dict[str, List[str]] = {}
+        self._order: Dict[str, int] = {}
+        self._compute()
+        self._depth: Dict[str, int] = {}
+        self._compute_depths()
+
+    def _compute(self) -> None:
+        func = self.func
+        rpo = func.reverse_postorder()
+        order = {b: i for i, b in enumerate(rpo)}
+        self._order = order
+        idom: Dict[str, Optional[str]] = {b: None for b in rpo}
+        idom[func.entry] = func.entry
+
+        def intersect(b1: str, b2: str) -> str:
+            while b1 != b2:
+                while order[b1] > order[b2]:
+                    b1 = idom[b1]  # type: ignore[assignment]
+                while order[b2] > order[b1]:
+                    b2 = idom[b2]  # type: ignore[assignment]
+            return b1
+
+        changed = True
+        while changed:
+            changed = False
+            for b in rpo:
+                if b == func.entry:
+                    continue
+                preds = [p for p in func.predecessors(b) if idom.get(p) is not None]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = intersect(p, new_idom)
+                if idom[b] != new_idom:
+                    idom[b] = new_idom
+                    changed = True
+        self.idom = idom
+        self.idom[func.entry] = None
+        self.children = {b: [] for b in rpo}
+        for b, d in idom.items():
+            if d is not None and b != func.entry:
+                self.children[d].append(b)
+
+    def _compute_depths(self) -> None:
+        self._depth = {self.func.entry: 0}
+        stack = [self.func.entry]
+        while stack:
+            b = stack.pop()
+            for c in self.children.get(b, ()):
+                self._depth[c] = self._depth[b] + 1
+                stack.append(c)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff block ``a`` dominates block ``b`` (reflexive)."""
+        while b is not None and self._depth.get(b, -1) > self._depth.get(a, -1):
+            b = self.idom[b]  # type: ignore[assignment]
+        return a == b
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` and ``a != b``."""
+        return a != b and self.dominates(a, b)
+
+    def depth(self, b: str) -> int:
+        """Depth of ``b`` in the dominator tree (entry = 0)."""
+        return self._depth[b]
+
+    def dfs_preorder(self) -> List[str]:
+        """Preorder walk of the dominator tree (used by SSA renaming)."""
+        out: List[str] = []
+        stack = [self.func.entry]
+        while stack:
+            b = stack.pop()
+            out.append(b)
+            # reversed so children pop in natural order
+            for c in reversed(self.children.get(b, ())):
+                stack.append(c)
+        return out
+
+
+def dominance_frontiers(func: Function, tree: Optional[DominatorTree] = None) -> Dict[str, Set[str]]:
+    """DF(b) for every reachable block, Cooper–Harvey–Kennedy style."""
+    tree = tree or DominatorTree(func)
+    df: Dict[str, Set[str]] = {b: set() for b in tree.idom}
+    for b in tree.idom:
+        preds = [p for p in func.predecessors(b) if p in tree.idom]
+        if len(preds) < 2:
+            continue
+        for p in preds:
+            runner = p
+            while runner != tree.idom[b]:
+                df[runner].add(b)
+                runner = tree.idom[runner]  # type: ignore[assignment]
+    return df
+
+
+def loop_depths(func: Function, tree: Optional[DominatorTree] = None) -> Dict[str, int]:
+    """Approximate loop nesting depth per block.
+
+    A back edge is an edge ``t -> h`` where ``h`` dominates ``t``; the
+    natural loop of the back edge is found by walking predecessors from
+    ``t`` until ``h``.  Depth = number of natural loops containing the
+    block.  Good enough for frequency-weighting moves and spills
+    (weight 10^depth, the classic Chaitin heuristic).
+    """
+    tree = tree or DominatorTree(func)
+    depth: Dict[str, int] = {b: 0 for b in tree.idom}
+    for t in tree.idom:
+        for h in func.successors(t):
+            if h in tree.idom and tree.dominates(h, t):
+                # natural loop of back edge t -> h
+                body = {h, t}
+                stack = [t]
+                while stack:
+                    x = stack.pop()
+                    if x == h:
+                        continue
+                    for p in func.predecessors(x):
+                        if p in tree.idom and p not in body:
+                            body.add(p)
+                            stack.append(p)
+                for b in body:
+                    depth[b] += 1
+    return depth

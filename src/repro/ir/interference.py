@@ -1,0 +1,129 @@
+"""Building interference graphs from IR functions.
+
+Two interference definitions from Section 2.1:
+
+* :func:`chaitin_interference` — Chaitin et al.'s relaxed condition:
+  two variables interfere iff the live range of one contains a
+  *definition* of the other.  Implemented as the classic backward walk
+  (each definition interferes with the live-after set, minus the source
+  for a move).
+* :func:`intersection_interference` — live ranges intersect, i.e. the
+  variables are simultaneously live at some program point.
+
+For strict programs the two are equivalent (the paper, §2.1); the test
+suite checks this property on random generated programs.
+
+Affinities are collected from ``mov`` instructions (weighted by block
+frequency) and, for SSA functions, from φ-functions (one affinity per
+(target, incoming arg) pair, weighted by the predecessor frequency —
+these are the moves an out-of-SSA translation would insert).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Optional, Set, Tuple
+
+from ..graphs.interference import InterferenceGraph
+from .cfg import Function
+from .dominance import loop_depths
+from .instructions import Var
+from .liveness import LivenessInfo, compute_liveness, live_at_points
+
+
+def set_frequencies_from_loops(func: Function, base: float = 10.0) -> None:
+    """Assign block frequencies ``base ** loop_depth`` (Chaitin's
+    classic static weighting)."""
+    for block, depth in loop_depths(func).items():
+        func.frequency[block] = base ** depth
+
+
+def chaitin_interference(
+    func: Function,
+    move_affinities: bool = True,
+    phi_affinities: bool = True,
+    weighted: bool = True,
+) -> InterferenceGraph:
+    """The interference graph under Chaitin's definition.
+
+    Every variable of the function becomes a vertex (so spill-candidate
+    enumeration sees dead definitions too).  φ-targets are treated as
+    defined in parallel at the block top; φ-arguments are used at the
+    end of the predecessor (so a φ-target and its arguments do not
+    interfere unless genuinely simultaneously live — this is what makes
+    φ affinities coalescable and the SSA graph chordal, Theorem 1).
+    """
+    info = compute_liveness(func)
+    g = InterferenceGraph(vertices=sorted(func.variables()))
+    reachable = func.reachable()
+    for name in reachable:
+        block = func.blocks[name]
+        freq = func.block_frequency(name) if weighted else 1.0
+        live: Set[Var] = set(info.live_out[name])
+        for instr in reversed(block.instrs):
+            # Each definition interferes with everything live after the
+            # instruction.  No special case is needed for moves: in this
+            # backward walk a copy source that dies at the copy is
+            # already absent from ``live``, and a source that stays live
+            # genuinely interferes with the destination (the affinity
+            # below is then frozen, i.e. uncoalescable).
+            for d in instr.defs:
+                for other in live:
+                    if other != d:
+                        g.add_edge(d, other)
+            for d1, d2 in combinations(instr.defs, 2):
+                if d1 != d2:
+                    g.add_edge(d1, d2)
+            if instr.is_move and move_affinities:
+                dst, src = instr.defs[0], instr.uses[0]
+                if dst != src:
+                    g.add_affinity(dst, src, freq)
+            live -= set(instr.defs)
+            live |= set(instr.uses)
+        # φs execute in parallel at block top; 'live' is now the live set
+        # just after them
+        phi_targets = {phi.target for phi in block.phis}
+        for t in phi_targets:
+            for other in live:
+                if other != t:
+                    g.add_edge(t, other)
+        if phi_affinities:
+            for phi in block.phis:
+                for pred, v in phi.args.items():
+                    if pred in reachable and v != phi.target:
+                        w = func.block_frequency(pred) if weighted else 1.0
+                        g.add_affinity(phi.target, v, w)
+    return g
+
+
+def intersection_interference(
+    func: Function,
+    move_affinities: bool = True,
+    phi_affinities: bool = True,
+    weighted: bool = True,
+) -> InterferenceGraph:
+    """The interference graph under the live-range-intersection
+    definition: a clique over every program-point live set, plus
+    def-versus-live edges so zero-length ranges are not lost."""
+    base = chaitin_interference(
+        func,
+        move_affinities=move_affinities,
+        phi_affinities=phi_affinities,
+        weighted=weighted,
+    )
+    points = live_at_points(func)
+    for live in points.values():
+        for u, v in combinations(sorted(live), 2):
+            base.add_edge(u, v)
+    # re-freeze affinities that became interferences: Coalescing treats
+    # an affinity between interfering vertices as uncoalescable anyway,
+    # so nothing further to do.
+    return base
+
+
+def maxlive_lower_bound_holds(func: Function, k: int) -> bool:
+    """Convenience: True iff Maxlive ≤ k (necessary for a k-colouring
+    without spills)."""
+    from .liveness import maxlive
+
+    return maxlive(func) <= k

@@ -1,0 +1,194 @@
+"""Liveness analysis and Maxlive.
+
+Classic backward dataflow over the CFG, with the SSA-conventional
+treatment of φ-functions:
+
+* the *use* of a φ-argument happens at the end of the corresponding
+  predecessor block (so φ inputs are live-out of the predecessor, not
+  live-in of the join);
+* the *definition* of a φ-target happens at the top of the join block,
+  so φ-targets are not live-in to the join (unless used by another φ of
+  the same block, which strict SSA forbids anyway).
+
+``Maxlive`` (Section 2.1) is the maximum, over program points, of the
+number of simultaneously-live variables.  Program points are taken
+between consecutive instructions, plus the block boundary points; for a
+strict program it is a lower bound on the number of registers needed,
+and equals ω(G) under strict SSA (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .cfg import Function
+from .instructions import Var
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out sets."""
+
+    live_in: Dict[str, Set[Var]] = field(default_factory=dict)
+    live_out: Dict[str, Set[Var]] = field(default_factory=dict)
+
+
+def compute_liveness(func: Function) -> LivenessInfo:
+    """Fixed-point backward liveness over reachable blocks."""
+    reachable = func.reachable()
+    use: Dict[str, Set[Var]] = {}
+    defs: Dict[str, Set[Var]] = {}
+    phi_uses_out: Dict[str, Set[Var]] = {b: set() for b in reachable}
+    phi_defs: Dict[str, Set[Var]] = {b: set() for b in reachable}
+
+    for name in reachable:
+        block = func.blocks[name]
+        upward: Set[Var] = set()
+        defined: Set[Var] = set()
+        for instr in block.instrs:
+            upward.update(v for v in instr.uses if v not in defined)
+            defined.update(instr.defs)
+        use[name] = upward
+        defs[name] = defined
+        for phi in block.phis:
+            phi_defs[name].add(phi.target)
+            for pred, v in phi.args.items():
+                if pred in reachable:
+                    phi_uses_out[pred].add(v)
+
+    info = LivenessInfo(
+        live_in={b: set() for b in reachable},
+        live_out={b: set() for b in reachable},
+    )
+    # iterate in postorder (against the flow) until stable
+    order = func.postorder()
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            out: Set[Var] = set(phi_uses_out[b])
+            for s in func.successors(b):
+                if s not in reachable:
+                    continue
+                # live-in of successor minus its φ-targets, since those
+                # are defined at the join
+                out |= info.live_in[s]
+            # φ-targets are defined at the block top, so they are not
+            # live-in even when used by the block's own instructions.
+            new_in = (use[b] | (out - defs[b])) - phi_defs[b]
+            if out != info.live_out[b] or new_in != info.live_in[b]:
+                info.live_out[b] = out
+                info.live_in[b] = new_in
+                changed = True
+    return info
+
+
+def live_at_points(func: Function, info: LivenessInfo | None = None) -> Dict[Tuple[str, int], Set[Var]]:
+    """Live sets at every program point.
+
+    Point ``(b, i)`` is *before* instruction ``i`` of block ``b``;
+    ``(b, len(instrs))`` is the block end (= live-out).  φ-functions sit
+    before point 0: live at ``(b, 0)`` includes φ-targets.
+    """
+    if info is None:
+        info = compute_liveness(func)
+    points: Dict[Tuple[str, int], Set[Var]] = {}
+    for name in func.reachable():
+        block = func.blocks[name]
+        live = set(info.live_out[name])
+        points[(name, len(block.instrs))] = set(live)
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            live -= set(instr.defs)
+            live |= set(instr.uses)
+            points[(name, i)] = set(live)
+    return points
+
+
+def maxlive(func: Function) -> int:
+    """Maxlive: the register-pressure lower bound of Section 2.1.
+
+    A variable is live *at* its definition point (even when never used
+    afterwards), so the pressure at an instruction is the size of its
+    live-after set united with its definitions; φ-targets all count at
+    the block top, where they are defined in parallel.  With this
+    convention ω(G) = Maxlive for strict SSA (Theorem 1).
+    """
+    info = compute_liveness(func)
+    best = 0
+    for name in func.reachable():
+        block = func.blocks[name]
+        live = set(info.live_out[name])
+        best = max(best, len(live))
+        for instr in reversed(block.instrs):
+            best = max(best, len(live | set(instr.defs)))
+            live -= set(instr.defs)
+            live |= set(instr.uses)
+        phi_targets = {phi.target for phi in block.phis}
+        best = max(best, len(live | phi_targets))
+    return best
+
+
+def dead_code_vars(func: Function) -> Set[Var]:
+    """Variables defined but never used (anywhere, incl. φ args)."""
+    used: Set[Var] = set()
+    defined: Set[Var] = set()
+    for block in func.blocks.values():
+        for phi in block.phis:
+            defined.add(phi.target)
+            used.update(phi.args.values())
+        for instr in block.instrs:
+            defined.update(instr.defs)
+            used.update(instr.uses)
+    return defined - used
+
+
+def check_strict(func: Function) -> List[str]:
+    """Verify strictness: every use is reached by a def on all paths.
+
+    Forward dataflow of definitely-assigned variables.  Returns a list
+    of violation descriptions (empty when strict).
+    """
+    reachable = func.reachable()
+    assigned_in: Dict[str, Set[Var]] = {}
+    all_vars = func.variables()
+    for b in reachable:
+        assigned_in[b] = set() if b == func.entry else set(all_vars)
+    changed = True
+    while changed:
+        changed = False
+        for b in func.reverse_postorder():
+            if b == func.entry:
+                inset: Set[Var] = set()
+            else:
+                preds = [p for p in func.predecessors(b) if p in reachable]
+                if preds:
+                    inset = set(all_vars)
+                    for p in preds:
+                        out = assigned_in[p] | func.blocks[p].defs()
+                        inset &= out
+                else:
+                    inset = set()
+            if inset != assigned_in[b]:
+                assigned_in[b] = inset
+                changed = True
+
+    problems: List[str] = []
+    for b in reachable:
+        block = func.blocks[b]
+        for phi in block.phis:
+            for pred, v in phi.args.items():
+                if pred in reachable:
+                    avail = assigned_in[pred] | func.blocks[pred].defs()
+                    if v not in avail:
+                        problems.append(
+                            f"phi arg {v} from {pred} in {b} may be unassigned"
+                        )
+        avail = set(assigned_in[b]) | {phi.target for phi in block.phis}
+        for instr in block.instrs:
+            for v in instr.uses:
+                if v not in avail:
+                    problems.append(f"use of {v} in {b} may be unassigned")
+            avail.update(instr.defs)
+    return problems

@@ -1,0 +1,104 @@
+"""Executable NP-completeness reductions (Theorems 2, 3, 4, 6).
+
+Each reduction module provides the construction, both directions of the
+certificate map, and a ``verify``-style entry point that the test suite
+cross-checks against exact solvers on both sides.  The source problems
+(multiway cut, k-colorability, 3SAT, vertex cover) are implemented here
+too, each with a small-instance exact solver.
+"""
+
+from .sat import (
+    CNF,
+    is_satisfiable,
+    random_3sat,
+    solve_dpll,
+    three_sat_to_four_sat,
+)
+from .multiway_cut import (
+    MultiwayCutInstance,
+    has_multiway_cut,
+    min_multiway_cut,
+    separates,
+)
+from .vertex_cover import (
+    greedy_vertex_cover,
+    has_vertex_cover,
+    is_vertex_cover,
+    min_vertex_cover,
+    random_low_degree_graph,
+)
+from .aggressive_reduction import (
+    AggressiveReduction,
+    build_program,
+    coalescing_to_cut,
+    cut_to_coalescing,
+    program_matches_reduction,
+    reduce_multiway_cut,
+)
+from .conservative_reduction import (
+    ConservativeReduction,
+    coloring_to_coalescing,
+    decide_source_via_target,
+    full_coalescing,
+    reduce_colorability,
+    verify_equivalence,
+)
+from .incremental_reduction import (
+    FourSatGraph,
+    IncrementalReduction,
+    assignment_to_coloring,
+    build_4sat_graph,
+    coloring_to_assignment,
+    decide_via_coalescing,
+    reduce_3sat,
+)
+from .optimistic_reduction import (
+    OptimisticReduction,
+    cover_to_decoalescing,
+    decoalescing_to_cover,
+    quotient_is_greedy,
+    reduce_vertex_cover,
+    structure_properties,
+)
+
+__all__ = [
+    "CNF",
+    "is_satisfiable",
+    "random_3sat",
+    "solve_dpll",
+    "three_sat_to_four_sat",
+    "MultiwayCutInstance",
+    "has_multiway_cut",
+    "min_multiway_cut",
+    "separates",
+    "greedy_vertex_cover",
+    "has_vertex_cover",
+    "is_vertex_cover",
+    "min_vertex_cover",
+    "random_low_degree_graph",
+    "AggressiveReduction",
+    "build_program",
+    "coalescing_to_cut",
+    "cut_to_coalescing",
+    "program_matches_reduction",
+    "reduce_multiway_cut",
+    "ConservativeReduction",
+    "coloring_to_coalescing",
+    "decide_source_via_target",
+    "full_coalescing",
+    "reduce_colorability",
+    "verify_equivalence",
+    "FourSatGraph",
+    "IncrementalReduction",
+    "assignment_to_coloring",
+    "build_4sat_graph",
+    "coloring_to_assignment",
+    "decide_via_coalescing",
+    "reduce_3sat",
+    "OptimisticReduction",
+    "cover_to_decoalescing",
+    "decoalescing_to_cover",
+    "quotient_is_greedy",
+    "reduce_vertex_cover",
+    "structure_properties",
+]

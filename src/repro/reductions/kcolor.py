@@ -1,0 +1,43 @@
+"""Graph k-colorability as an NP problem interface.
+
+Thin wrapper over :mod:`repro.graphs.coloring` so the reduction modules
+and benches can treat k-colorability like the other source problems
+(multiway cut, vertex cover, 3SAT), plus instance generators tuned for
+the Theorem 3 tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..graphs.coloring import is_k_colorable, k_coloring_exact
+from ..graphs.graph import Graph, Vertex
+from ..graphs.generators import random_graph
+
+
+def decide(graph: Graph, k: int) -> bool:
+    """Is the graph k-colorable?  (Exact, exponential worst case.)"""
+    return is_k_colorable(graph, k)
+
+
+def certificate(graph: Graph, k: int) -> Optional[Dict[Vertex, int]]:
+    """A k-colouring, or None."""
+    return k_coloring_exact(graph, k)
+
+
+def random_hard_instance(
+    n: int, k: int, rng: Optional[random.Random] = None
+) -> Graph:
+    """A random graph near the k-colorability threshold.
+
+    Erdős–Rényi with edge probability tuned so that roughly half the
+    instances are k-colorable — the interesting regime for exercising
+    both branches of the Theorem 3 equivalence.
+    """
+    rng = rng or random.Random(0)
+    # average degree ≈ k ln k sits near the chromatic threshold
+    import math
+
+    p = min(0.9, k * math.log(max(2, k)) / max(1, n - 1))
+    return random_graph(n, p, rng)

@@ -1,0 +1,129 @@
+"""End-to-end tests for both register allocators."""
+
+import random
+
+import pytest
+
+from repro.allocator import chaitin_allocate, ssa_allocate
+from repro.allocator.ssa_allocator import _pressure_maxlive, spill_to_pressure
+from repro.ir.builder import FunctionBuilder
+from repro.ir.generators import GeneratorConfig, random_function
+from repro.ir.out_of_ssa import eliminate_phis
+from repro.ir.ssa import construct_ssa
+
+
+def phi_free(seed, **kw):
+    return eliminate_phis(construct_ssa(random_function(seed, GeneratorConfig(**kw))))
+
+
+class TestChaitin:
+    def test_rejects_k_zero(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").ret("a")
+        with pytest.raises(ValueError):
+            chaitin_allocate(fb.finish(), 0)
+
+    def test_trivial_function(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a").ret("b")
+        res = chaitin_allocate(fb.finish(), 2)
+        assert res.verify() == []
+        assert res.spilled == []
+        # the move must be coalesced
+        assert res.assignment["a"] == res.assignment["b"]
+        assert res.residual_moves == 0
+
+    def test_valid_on_random_programs(self):
+        for seed in range(15):
+            f = phi_free(seed, num_vars=8)
+            k = 3 + seed % 4
+            res = chaitin_allocate(f, k)
+            assert res.verify() == [], seed
+
+    def test_spills_under_pressure(self):
+        # k=2 on an 8-variable program usually forces spilling
+        spilled_any = False
+        for seed in range(10):
+            f = phi_free(seed, num_vars=8, max_stmts=8)
+            res = chaitin_allocate(f, 2)
+            assert res.verify() == [], seed
+            spilled_any = spilled_any or bool(res.spilled)
+        assert spilled_any
+
+    def test_more_registers_fewer_spills(self):
+        f = phi_free(3, num_vars=10, max_stmts=8)
+        spills = [
+            len(chaitin_allocate(f, k).spilled) for k in (2, 4, 8)
+        ]
+        assert spills[0] >= spills[1] >= spills[2]
+
+    def test_brute_coalescing_at_least_briggs_in_aggregate(self):
+        # the whole allocator loop is path-dependent, so the per-decision
+        # dominance of the brute-force test only shows up in aggregate
+        total_briggs = total_brute = 0
+        for seed in range(8):
+            f = phi_free(seed, num_vars=8, move_fraction=0.4)
+            a = chaitin_allocate(f, 4, coalesce_test="briggs_george")
+            b = chaitin_allocate(f, 4, coalesce_test="brute")
+            assert a.verify() == [] and b.verify() == []
+            total_briggs += a.coalesced_moves
+            total_brute += b.coalesced_moves
+        assert total_brute >= total_briggs
+
+
+class TestSpillToPressure:
+    def test_reaches_target(self):
+        for seed in range(10):
+            ssa = construct_ssa(random_function(seed, GeneratorConfig(num_vars=10)))
+            k = 3
+            lowered, spilled, rounds = spill_to_pressure(ssa, k)
+            assert _pressure_maxlive(lowered) <= k, seed
+
+    def test_no_spill_when_fits(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").ret("a")
+        out, spilled, rounds = spill_to_pressure(fb.finish(), 4)
+        assert spilled == [] and rounds == 0
+
+
+class TestSSAAllocator:
+    def test_rejects_k_zero(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").ret("a")
+        with pytest.raises(ValueError):
+            ssa_allocate(fb.finish(), 0)
+
+    def test_valid_on_random_programs(self):
+        for seed in range(12):
+            f = random_function(seed, GeneratorConfig(num_vars=8))
+            res, stats = ssa_allocate(f, 4)
+            assert res.verify() == [], seed
+            assert stats.maxlive_after <= 4
+            assert stats.chordal, seed
+
+    @pytest.mark.parametrize(
+        "strategy", ["none", "briggs", "george", "briggs_george", "brute", "optimistic"]
+    )
+    def test_all_coalescing_strategies(self, strategy):
+        f = random_function(4, GeneratorConfig(num_vars=8, move_fraction=0.4))
+        res, stats = ssa_allocate(f, 4, coalescing=strategy)
+        assert res.verify() == []
+
+    def test_phase2_is_chordal_theorem1(self):
+        for seed in range(10):
+            f = random_function(seed)
+            _, stats = ssa_allocate(f, 3)
+            assert stats.chordal, seed
+
+    def test_better_coalescing_fewer_residual_moves(self):
+        # brute-force conservative must coalesce at least as much weight
+        # as Briggs on the same phase-2 graph
+        for seed in range(8):
+            f = random_function(seed, GeneratorConfig(num_vars=9, move_fraction=0.4))
+            _, s_briggs = ssa_allocate(f, 3, coalescing="briggs")
+            _, s_brute = ssa_allocate(f, 3, coalescing="brute")
+            if s_briggs.coalescing and s_brute.coalescing:
+                assert (
+                    s_brute.coalescing.residual_weight
+                    <= s_briggs.coalescing.residual_weight + 1e-9
+                ), seed

@@ -1,0 +1,198 @@
+"""Tests for instructions, basic blocks, and the CFG."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import BasicBlock, Function
+from repro.ir.instructions import Instr, Phi, move
+
+
+class TestInstr:
+    def test_str_forms(self):
+        assert str(Instr("add", ("z",), ("x", "y"))) == "z = add x, y"
+        assert str(Instr("const", ("x",), ())) == "x = const"
+        assert str(Instr("use", (), ("x",))) == "use x"
+        assert str(Instr("nop", (), ())) == "nop"
+
+    def test_move_shape_enforced(self):
+        with pytest.raises(ValueError):
+            Instr("mov", ("a", "b"), ("c",))
+        with pytest.raises(ValueError):
+            Instr("mov", ("a",), ())
+
+    def test_is_move(self):
+        assert move("a", "b").is_move
+        assert not Instr("add", ("a",), ("b",)).is_move
+
+    def test_renamed(self):
+        i = Instr("add", ("z",), ("x", "y")).renamed({"x": "w", "z": "q"})
+        assert i.defs == ("q",) and i.uses == ("w", "y")
+
+
+class TestPhi:
+    def test_incoming(self):
+        p = Phi("x", {"left": "a", "right": "b"})
+        assert p.incoming("left") == "a"
+
+    def test_renamed(self):
+        p = Phi("x", {"l": "a"}).renamed({"x": "y", "a": "b"})
+        assert p.target == "y" and p.args == {"l": "b"}
+
+    def test_str(self):
+        assert "phi" in str(Phi("x", {"l": "a"}))
+
+
+class TestFunction:
+    def test_entry_created(self):
+        f = Function("f", "start")
+        assert "start" in f.blocks
+
+    def test_add_edge_creates_blocks(self):
+        f = Function()
+        f.add_edge("entry", "next")
+        assert f.successors("entry") == ["next"]
+        assert f.predecessors("next") == ["entry"]
+
+    def test_edge_idempotent(self):
+        f = Function()
+        f.add_edge("entry", "a")
+        f.add_edge("entry", "a")
+        assert f.successors("entry") == ["a"]
+
+    def test_remove_edge(self):
+        f = Function()
+        f.add_edge("entry", "a")
+        f.remove_edge("entry", "a")
+        assert f.successors("entry") == []
+
+    def test_variables(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("x").op("add", "y", "x")
+        f = fb.finish()
+        assert f.variables() == {"x", "y"}
+
+    def test_moves_iteration(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("x").mov("y", "x").mov("z", "y")
+        f = fb.finish()
+        assert len(list(f.moves())) == 2
+
+    def test_reachable(self):
+        f = Function()
+        f.add_edge("entry", "a")
+        f.add_block("island")
+        assert f.reachable() == {"entry", "a"}
+
+    def test_postorder_and_rpo(self):
+        f = Function()
+        f.add_edge("entry", "a")
+        f.add_edge("entry", "b")
+        f.add_edge("a", "c")
+        f.add_edge("b", "c")
+        rpo = f.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert rpo.index("a") < rpo.index("c")
+        assert rpo.index("b") < rpo.index("c")
+
+    def test_postorder_with_loop(self):
+        f = Function()
+        f.add_edge("entry", "head")
+        f.add_edge("head", "body")
+        f.add_edge("body", "head")
+        f.add_edge("head", "exit")
+        po = f.postorder()
+        assert set(po) == {"entry", "head", "body", "exit"}
+
+    def test_frequency_default(self):
+        f = Function()
+        assert f.block_frequency("entry") == 1.0
+        f.frequency["entry"] = 10.0
+        assert f.block_frequency("entry") == 10.0
+
+
+class TestEdgeSplitting:
+    def make_diamond_with_critical(self):
+        # entry -> a, entry -> join; a -> join : edge entry->join critical
+        f = Function()
+        f.add_edge("entry", "a")
+        f.add_edge("entry", "join")
+        f.add_edge("a", "join")
+        return f
+
+    def test_is_critical(self):
+        f = self.make_diamond_with_critical()
+        assert f.is_critical_edge("entry", "join")
+        assert not f.is_critical_edge("a", "join")
+
+    def test_split_edge_rewires(self):
+        f = self.make_diamond_with_critical()
+        mid = f.split_edge("entry", "join")
+        assert f.successors(mid) == ["join"]
+        assert mid in f.successors("entry")
+        assert "join" not in f.successors("entry")
+
+    def test_split_updates_phi(self):
+        f = self.make_diamond_with_critical()
+        f.blocks["join"].phis.append(
+            Phi("x", {"entry": "a1", "a": "a2"})
+        )
+        mid = f.split_edge("entry", "join")
+        phi = f.blocks["join"].phis[0]
+        assert mid in phi.args and "entry" not in phi.args
+        f.validate()
+
+    def test_split_missing_edge(self):
+        f = self.make_diamond_with_critical()
+        with pytest.raises(ValueError):
+            f.split_edge("a", "entry")
+
+    def test_split_all_critical(self):
+        f = self.make_diamond_with_critical()
+        created = f.split_critical_edges()
+        assert len(created) == 1
+        for src in f.block_names():
+            for dst in f.successors(src):
+                assert not f.is_critical_edge(src, dst)
+
+    def test_successor_slot_order_preserved(self):
+        f = Function()
+        f.add_edge("entry", "t")
+        f.add_edge("entry", "j")
+        f.add_edge("t", "j")
+        idx = f.successors("entry").index("j")
+        mid = f.split_edge("entry", "j")
+        assert f.successors("entry")[idx] == mid
+
+
+class TestValidate:
+    def test_phi_args_must_match_preds(self):
+        f = Function()
+        f.add_edge("entry", "join")
+        f.blocks["join"].phis.append(Phi("x", {"nope": "v"}))
+        with pytest.raises(ValueError):
+            f.validate()
+
+    def test_valid_function_passes(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("x")
+        fb.block("next").phi("y", entry="x")
+        fb.edge("entry", "next")
+        fb.finish()  # validates
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a").ret("b")
+        f = fb.finish()
+        assert len(f.blocks["entry"].instrs) == 3
+
+    def test_edges_helper(self):
+        fb = FunctionBuilder()
+        fb.edges(("entry", "a"), ("entry", "b"))
+        assert set(fb.func.successors("entry")) == {"a", "b"}
+
+    def test_frequency_helper(self):
+        fb = FunctionBuilder()
+        fb.frequency("entry", 5.0)
+        assert fb.finish().block_frequency("entry") == 5.0

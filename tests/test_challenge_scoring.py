@@ -1,0 +1,136 @@
+"""Tests for challenge solution validation, scoring, and serialization."""
+
+import random
+
+import pytest
+
+from repro.challenge.format import ChallengeInstance
+from repro.challenge.generator import pressure_instance
+from repro.challenge.scoring import (
+    Solution,
+    dumps_solution,
+    load_solutions,
+    loads_solutions,
+    score,
+    scoreboard,
+    solution_from_result,
+    validate,
+)
+from repro.coalescing import conservative_coalesce, optimistic_coalesce
+from repro.graphs.interference import InterferenceGraph
+
+
+def tiny_instance() -> ChallengeInstance:
+    g = InterferenceGraph(edges=[("a", "b")], affinities=[("a", "c"), ("b", "c")])
+    return ChallengeInstance(name="tiny", k=2, graph=g)
+
+
+class TestValidate:
+    def test_valid(self):
+        inst = tiny_instance()
+        s = Solution("tiny", {"a": 0, "b": 1, "c": 0})
+        assert validate(inst, s) == []
+
+    def test_unassigned(self):
+        inst = tiny_instance()
+        s = Solution("tiny", {"a": 0, "b": 1})
+        assert any("unassigned" in p for p in validate(inst, s))
+
+    def test_out_of_range(self):
+        inst = tiny_instance()
+        s = Solution("tiny", {"a": 0, "b": 1, "c": 5})
+        assert any("out of" in p for p in validate(inst, s))
+
+    def test_interference_violated(self):
+        inst = tiny_instance()
+        s = Solution("tiny", {"a": 0, "b": 0, "c": 1})
+        assert any("interfere" in p for p in validate(inst, s))
+
+    def test_unknown_variable(self):
+        inst = tiny_instance()
+        s = Solution("tiny", {"a": 0, "b": 1, "c": 0, "zz": 1})
+        assert any("unknown" in p for p in validate(inst, s))
+
+
+class TestScore:
+    def test_all_coalesced(self):
+        inst = tiny_instance()
+        assert score(inst, Solution("tiny", {"a": 0, "b": 1, "c": 0})) == 1.0
+
+    def test_none_coalesced(self):
+        inst = tiny_instance()
+        # c on its own register: both moves stay
+        g = inst.graph
+        s = Solution("tiny", {"a": 0, "b": 1, "c": 1})
+        # c=1 coalesces (b, c): residual is only (a, c)
+        assert score(inst, s) == 1.0
+
+    def test_invalid_raises(self):
+        inst = tiny_instance()
+        with pytest.raises(ValueError):
+            score(inst, Solution("tiny", {"a": 0, "b": 0, "c": 1}))
+
+    def test_matches_result_residual(self):
+        for seed in range(6):
+            inst = pressure_instance(5, 7, margin=0, rng=random.Random(seed))
+            result = conservative_coalesce(inst.graph, inst.k, test="brute")
+            solution = solution_from_result(inst, result)
+            assert validate(inst, solution) == []
+            # greedy colouring of the quotient may coalesce extra moves
+            # by luck, but never fewer than the merging achieved
+            assert score(inst, solution) <= result.residual_weight + 1e-9
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        s = Solution("tiny", {"a": 0, "b": 1, "c": 0})
+        back = loads_solutions(dumps_solution(s))
+        assert len(back) == 1
+        assert back[0].instance_name == "tiny"
+        assert back[0].assignment == {"a": 0, "b": 1, "c": 0}
+
+    def test_multiple(self):
+        text = dumps_solution(Solution("x", {"a": 0})) + dumps_solution(
+            Solution("y", {"b": 1})
+        )
+        assert [s.instance_name for s in loads_solutions(text)] == ["x", "y"]
+
+    def test_assign_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            loads_solutions("assign a 0\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            loads_solutions("solution x\nwhat is this\n")
+
+
+class TestScoreboard:
+    def test_mixed_statuses(self):
+        inst = tiny_instance()
+        other = ChallengeInstance(
+            name="other", k=2, graph=InterferenceGraph(vertices=["z"])
+        )
+        solutions = [
+            Solution("tiny", {"a": 0, "b": 1, "c": 0}),
+            # nothing for "other"
+        ]
+        rows = scoreboard([inst, other], solutions)
+        assert rows[0] == ("tiny", 1.0, "ok")
+        assert rows[1][2] == "missing"
+
+    def test_invalid_status(self):
+        inst = tiny_instance()
+        rows = scoreboard([inst], [Solution("tiny", {"a": 0, "b": 0, "c": 1})])
+        assert rows[0][1] is None and rows[0][2].startswith("invalid")
+
+    def test_full_workflow(self):
+        instances = [
+            pressure_instance(4, 6, rng=random.Random(seed), name=f"p{seed}")
+            for seed in range(3)
+        ]
+        solutions = []
+        for inst in instances:
+            result = optimistic_coalesce(inst.graph, inst.k)
+            solutions.append(solution_from_result(inst, result))
+        rows = scoreboard(instances, solutions)
+        assert all(status == "ok" for _, _, status in rows)

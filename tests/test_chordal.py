@@ -1,0 +1,237 @@
+"""Tests for the chordal-graph toolkit, including hypothesis properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.chordal import (
+    chordal_coloring,
+    clique_number_chordal,
+    clique_tree,
+    is_chordal,
+    is_perfect_elimination_ordering,
+    make_chordal,
+    maximal_cliques_chordal,
+    maximum_cardinality_search,
+    perfect_elimination_ordering,
+    simplicial_vertices,
+    verify_clique_tree,
+)
+from repro.graphs.coloring import verify_coloring
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_chordal_graph,
+    random_graph,
+    random_interval_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestChordalityKnownGraphs:
+    def test_empty(self):
+        assert is_chordal(Graph())
+
+    def test_single_vertex(self):
+        assert is_chordal(Graph(vertices=["a"]))
+
+    def test_triangle(self):
+        assert is_chordal(complete_graph(3))
+
+    def test_complete(self):
+        assert is_chordal(complete_graph(6))
+
+    def test_c4_not_chordal(self):
+        assert not is_chordal(cycle_graph(4))
+
+    def test_c5_not_chordal(self):
+        assert not is_chordal(cycle_graph(5))
+
+    def test_c4_with_chord(self):
+        g = cycle_graph(4)
+        g.add_edge("c0", "c2")
+        assert is_chordal(g)
+
+    def test_tree_is_chordal(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("b", "d"), ("d", "e")])
+        assert is_chordal(g)
+
+    def test_disconnected(self):
+        g = Graph(edges=[("a", "b")])
+        g2 = cycle_graph(4)
+        for u, v in g2.edges():
+            g.add_edge(u, v)
+        assert not is_chordal(g)
+
+    def test_interval_graphs_chordal(self):
+        for seed in range(5):
+            g = random_interval_graph(20, rng=random.Random(seed))
+            assert is_chordal(g)
+
+
+class TestPEO:
+    def test_mcs_covers_all(self):
+        g = random_chordal_graph(12, 4)
+        order = maximum_cardinality_search(g)
+        assert sorted(map(str, order)) == sorted(map(str, g.vertices))
+
+    def test_peo_of_chordal(self):
+        g = random_chordal_graph(15, 4)
+        order = perfect_elimination_ordering(g)
+        assert order is not None
+        assert is_perfect_elimination_ordering(g, order)
+
+    def test_peo_of_cycle_is_none(self):
+        assert perfect_elimination_ordering(cycle_graph(5)) is None
+
+    def test_is_peo_rejects_bad_order(self):
+        # eliminating the chord endpoint of a fan first is not a PEO
+        g = Graph(edges=[("m", "a"), ("m", "b"), ("m", "c"), ("a", "b"), ("b", "c")])
+        assert not is_perfect_elimination_ordering(g, ["m", "a", "b", "c"])
+
+    def test_is_peo_wrong_vertex_set(self):
+        g = complete_graph(3)
+        assert not is_perfect_elimination_ordering(g, ["k0", "k1"])
+
+
+class TestSimplicial:
+    def test_complete_all_simplicial(self):
+        g = complete_graph(4)
+        assert len(simplicial_vertices(g)) == 4
+
+    def test_path_endpoints(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        assert set(simplicial_vertices(g)) == {"a", "c"}
+
+    def test_cycle_has_none(self):
+        assert simplicial_vertices(cycle_graph(5)) == []
+
+
+class TestMaximalCliques:
+    def test_triangle(self):
+        cliques = maximal_cliques_chordal(complete_graph(3))
+        assert cliques == [frozenset({"k0", "k1", "k2"})]
+
+    def test_path(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        cliques = set(maximal_cliques_chordal(g))
+        assert cliques == {frozenset({"a", "b"}), frozenset({"b", "c"})}
+
+    def test_isolated_vertex(self):
+        g = Graph(vertices=["a"])
+        assert maximal_cliques_chordal(g) == [frozenset({"a"})]
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(ValueError):
+            maximal_cliques_chordal(cycle_graph(4))
+
+    def test_all_are_cliques_and_maximal(self):
+        for seed in range(10):
+            g = random_chordal_graph(14, 4, random.Random(seed))
+            cliques = maximal_cliques_chordal(g)
+            for c in cliques:
+                assert g.is_clique(c)
+                # maximality: no vertex outside adjacent to all of c
+                for v in g.vertices:
+                    if v not in c:
+                        assert not c <= g.neighbors_view(v)
+            # every edge is inside some clique
+            for u, v in g.edges():
+                assert any({u, v} <= c for c in cliques)
+
+    def test_clique_number(self):
+        assert clique_number_chordal(complete_graph(5)) == 5
+        assert clique_number_chordal(Graph(vertices=["a"])) == 1
+        assert clique_number_chordal(Graph()) == 0
+
+
+class TestCliqueTree:
+    def test_verify_on_random(self):
+        for seed in range(10):
+            g = random_chordal_graph(16, 4, random.Random(seed))
+            t = clique_tree(g)
+            assert verify_clique_tree(g, t)
+
+    def test_tree_edge_count(self):
+        # a connected chordal graph's clique tree is a tree
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d"), ("b", "d")])
+        t = clique_tree(g)
+        assert len(t.edges) == len(t.cliques) - 1
+
+    def test_path_query(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        t = clique_tree(g)
+        start = next(i for i, c in enumerate(t.cliques) if "a" in c)
+        end = next(i for i, c in enumerate(t.cliques) if "d" in c)
+        path = t.path(start, end)
+        assert path is not None
+        assert path[0] == start and path[-1] == end
+
+    def test_path_disconnected(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        t = clique_tree(g)
+        i = next(i for i, c in enumerate(t.cliques) if "a" in c)
+        j = next(i for i, c in enumerate(t.cliques) if "c" in c)
+        assert t.path(i, j) is None
+
+    def test_empty_graph(self):
+        t = clique_tree(Graph())
+        assert t.cliques == []
+
+
+class TestChordalColoring:
+    def test_uses_omega_colors(self):
+        for seed in range(10):
+            g = random_chordal_graph(15, 5, random.Random(seed))
+            col = chordal_coloring(g)
+            assert verify_coloring(g, col)
+            w = clique_number_chordal(g)
+            assert max(col.values(), default=-1) + 1 == w
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(ValueError):
+            chordal_coloring(cycle_graph(5))
+
+
+class TestMakeChordal:
+    def test_output_chordal_and_supergraph(self):
+        for seed in range(5):
+            g = random_graph(12, 0.25, random.Random(seed))
+            f = make_chordal(g)
+            assert is_chordal(f)
+            for u, v in g.edges():
+                assert f.has_edge(u, v)
+
+    def test_chordal_unchanged(self):
+        g = random_chordal_graph(12, 3)
+        f = make_chordal(g)
+        assert f.num_edges() == g.num_edges()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=5))
+def test_property_random_chordal_is_chordal(n, w):
+    g = random_chordal_graph(n, w, random.Random(n * 31 + w))
+    assert is_chordal(g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=18))
+def test_property_subgraph_of_chordal_is_chordal(n):
+    g = random_chordal_graph(n, 4, random.Random(n))
+    keep = [v for i, v in enumerate(g.vertices) if i % 2 == 0]
+    assert is_chordal(g.subgraph(keep))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=60))
+def test_property_chordality_matches_networkx(seed):
+    import networkx as nx
+
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(2, 16), rng.uniform(0.1, 0.6), rng)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices)
+    nxg.add_edges_from(g.edges())
+    assert is_chordal(g) == nx.is_chordal(nxg)

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.challenge.format import dumps_instance
+from repro.challenge.generator import pressure_instance
+from repro.graphs.io import dumps_dimacs
+from repro.ir import GeneratorConfig, format_function, random_function
+
+
+@pytest.fixture
+def challenge_file(tmp_path):
+    import random
+
+    path = tmp_path / "insts.txt"
+    text = "".join(
+        dumps_instance(
+            pressure_instance(5, 6, rng=random.Random(seed), name=f"p{seed}")
+        )
+        for seed in range(2)
+    )
+    path.write_text(text)
+    return str(path)
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "funcs.ir"
+    path.write_text(
+        "".join(
+            format_function(random_function(s, GeneratorConfig(num_vars=6)))
+            for s in range(2)
+        )
+    )
+    return str(path)
+
+
+class TestInfo:
+    def test_prints_stats(self, challenge_file, capsys):
+        assert main(["info", challenge_file]) == 0
+        out = capsys.readouterr().out
+        assert "p0" in out and "p1" in out
+        assert "chordal" in out
+
+    def test_dimacs_input(self, tmp_path, capsys):
+        import random
+
+        from repro.graphs.generators import random_graph
+
+        path = tmp_path / "g.col"
+        path.write_text(dumps_dimacs(random_graph(6, 0.4, random.Random(0))))
+        assert main(["info", str(path), "--dimacs"]) == 0
+        assert str(path) in capsys.readouterr().out
+
+
+class TestCoalesce:
+    @pytest.mark.parametrize(
+        "strategy", ["briggs", "brute", "aggressive", "optimistic", "biased"]
+    )
+    def test_strategies(self, challenge_file, capsys, strategy):
+        assert main(["coalesce", challenge_file, "--strategy", strategy]) == 0
+        out = capsys.readouterr().out
+        assert strategy in out
+
+    def test_k_override(self, challenge_file, capsys):
+        assert main(["coalesce", challenge_file, "--k", "7"]) == 0
+        assert " 7 " in capsys.readouterr().out
+
+    def test_missing_k_for_dimacs(self, tmp_path, capsys):
+        path = tmp_path / "g.col"
+        path.write_text("p edge 2 1\ne 1 2\n")
+        assert main(["coalesce", str(path), "--dimacs"]) == 2
+
+
+class TestAllocate:
+    def test_ssa_allocator(self, ir_file, capsys):
+        assert main(["allocate", ir_file, "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 2
+
+    def test_chaitin_allocator(self, ir_file, capsys):
+        assert main(
+            ["allocate", ir_file, "--k", "4", "--allocator", "chaitin"]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_pressure_to_file(self, tmp_path, capsys):
+        out = tmp_path / "gen.txt"
+        assert main(
+            ["generate", "--count", "2", "--k", "5", "-o", str(out)]
+        ) == 0
+        text = out.read_text()
+        assert text.count("graph ") == 2
+
+    def test_program_kind_stdout(self, capsys):
+        assert main(["generate", "--kind", "program", "--count", "1"]) == 0
+        assert "graph program0" in capsys.readouterr().out
+
+
+class TestDot:
+    def test_first_instance(self, challenge_file, capsys):
+        assert main(["dot", challenge_file]) == 0
+        assert capsys.readouterr().out.startswith("graph ")
+
+    def test_named_instance(self, challenge_file, capsys):
+        assert main(["dot", challenge_file, "--instance", "p1"]) == 0
+        assert "p1" in capsys.readouterr().out
+
+    def test_missing_instance(self, challenge_file, capsys):
+        assert main(["dot", challenge_file, "--instance", "zzz"]) == 2
+
+
+class TestSolveAndScore:
+    def test_solve_then_score(self, challenge_file, tmp_path, capsys):
+        solutions = tmp_path / "sols.txt"
+        assert main(
+            ["solve", challenge_file, "--strategy", "brute", "-o", str(solutions)]
+        ) == 0
+        assert main(["score", challenge_file, str(solutions)]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "ok" in out
+
+    def test_score_missing_solution(self, challenge_file, tmp_path, capsys):
+        solutions = tmp_path / "sols.txt"
+        solutions.write_text("solution p0\n")  # incomplete and missing p1
+        assert main(["score", challenge_file, str(solutions)]) == 1
+        out = capsys.readouterr().out
+        assert "invalid" in out or "missing" in out

@@ -1,0 +1,167 @@
+"""Tests for colouring heuristics and the exact solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.coloring import (
+    chromatic_number,
+    dsatur_coloring,
+    greedy_coloring,
+    is_k_colorable,
+    k_coloring_exact,
+    verify_coloring,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_chordal_graph,
+    random_graph,
+)
+from repro.graphs.chordal import clique_number_chordal
+from repro.graphs.graph import Graph
+
+
+class TestVerify:
+    def test_valid(self):
+        g = cycle_graph(4)
+        assert verify_coloring(g, {"c0": 0, "c1": 1, "c2": 0, "c3": 1})
+
+    def test_monochromatic_edge(self):
+        g = cycle_graph(4)
+        assert not verify_coloring(g, {"c0": 0, "c1": 0, "c2": 1, "c3": 1})
+
+    def test_missing_vertex(self):
+        g = cycle_graph(4)
+        assert not verify_coloring(g, {"c0": 0, "c1": 1, "c2": 0})
+
+
+class TestHeuristics:
+    def test_greedy_valid(self):
+        for seed in range(5):
+            g = random_graph(15, 0.3, random.Random(seed))
+            assert verify_coloring(g, greedy_coloring(g))
+
+    def test_greedy_custom_order(self):
+        g = cycle_graph(4)
+        col = greedy_coloring(g, order=["c0", "c2", "c1", "c3"])
+        assert verify_coloring(g, col)
+        assert max(col.values()) == 1
+
+    def test_dsatur_valid(self):
+        for seed in range(5):
+            g = random_graph(15, 0.3, random.Random(seed))
+            assert verify_coloring(g, dsatur_coloring(g))
+
+    def test_dsatur_exact_on_bipartite(self):
+        g = cycle_graph(6)
+        assert max(dsatur_coloring(g).values()) == 1
+
+
+class TestExact:
+    def test_k_too_small(self):
+        assert k_coloring_exact(complete_graph(4), 3) is None
+
+    def test_k_exact(self):
+        col = k_coloring_exact(complete_graph(4), 4)
+        assert col is not None
+        assert verify_coloring(complete_graph(4), col)
+
+    def test_odd_cycle(self):
+        assert not is_k_colorable(cycle_graph(5), 2)
+        assert is_k_colorable(cycle_graph(5), 3)
+
+    def test_empty_graph(self):
+        assert k_coloring_exact(Graph(), 0) == {}
+
+    def test_isolated_needs_one(self):
+        g = Graph(vertices=["a"])
+        assert k_coloring_exact(g, 0) is None
+        assert k_coloring_exact(g, 1) == {"a": 0}
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_coloring_exact(Graph(), -1)
+
+    def test_precolored_respected(self):
+        g = Graph(edges=[("a", "b")])
+        col = k_coloring_exact(g, 2, precolored={"a": 1})
+        assert col is not None and col["a"] == 1 and col["b"] == 0
+
+    def test_precolored_conflict(self):
+        g = Graph(edges=[("a", "b")])
+        assert k_coloring_exact(g, 2, precolored={"a": 0, "b": 0}) is None
+
+    def test_precolored_out_of_range(self):
+        g = Graph(vertices=["a"])
+        assert k_coloring_exact(g, 2, precolored={"a": 5}) is None
+
+    def test_same_color_constraint(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        col = k_coloring_exact(g, 2, same_color=[("a", "c")])
+        assert col is not None and col["a"] == col["c"]
+
+    def test_same_color_conflicts_with_edge(self):
+        g = Graph(edges=[("a", "b")])
+        assert k_coloring_exact(g, 3, same_color=[("a", "b")]) is None
+
+    def test_same_color_transitive_conflict(self):
+        g = Graph(edges=[("a", "c")])
+        g.add_vertex("b")
+        assert (
+            k_coloring_exact(g, 3, same_color=[("a", "b"), ("b", "c")])
+            is None
+        )
+
+    def test_same_color_forces_harder_instance(self):
+        # path a-b-c-d 2-colorable, but forcing a=b's neighbour impossible
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert is_k_colorable(g, 2)
+        assert k_coloring_exact(g, 2, same_color=[("a", "c")]) is not None
+        assert k_coloring_exact(g, 2, same_color=[("a", "d")]) is None
+
+
+class TestChromaticNumber:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (Graph(), 0),
+            (Graph(vertices=["a"]), 1),
+            (cycle_graph(6), 2),
+            (cycle_graph(5), 3),
+            (complete_graph(5), 5),
+        ],
+    )
+    def test_known(self, graph, expected):
+        assert chromatic_number(graph) == expected
+
+    def test_chordal_equals_omega(self):
+        for seed in range(5):
+            g = random_chordal_graph(10, 4, random.Random(seed))
+            if len(g):
+                assert chromatic_number(g) == clique_number_chordal(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=50))
+def test_property_exact_matches_networkx_bound(seed):
+    import networkx as nx
+
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(2, 10), rng.uniform(0.2, 0.7), rng)
+    chi = chromatic_number(g)
+    # networkx greedy gives an upper bound; ours must not exceed it
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.vertices)
+    nxg.add_edges_from(g.edges())
+    greedy = (
+        max(nx.coloring.greedy_color(nxg, "DSATUR").values()) + 1
+        if len(g)
+        else 0
+    )
+    assert chi <= greedy
+    # and a chi-coloring exists while (chi-1) does not
+    assert is_k_colorable(g, chi)
+    if chi > 0:
+        assert not is_k_colorable(g, chi - 1)

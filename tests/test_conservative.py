@@ -1,0 +1,181 @@
+"""Tests for conservative coalescing: Briggs, George, brute force
+(Section 4), and the Figure 3 phenomena."""
+
+import random
+
+import pytest
+
+from repro.coalescing.conservative import (
+    briggs_george_test,
+    briggs_test,
+    brute_force_test,
+    conservative_coalesce,
+    george_test,
+    george_test_both,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    incremental_trap_gadget,
+    padded_permutation_gadget,
+    permutation_gadget,
+)
+from repro.graphs.greedy import is_greedy_k_colorable
+from repro.graphs.interference import InterferenceGraph
+
+
+def star_graph():
+    """hub h adjacent to x1..x4; u, v off to the side."""
+    g = InterferenceGraph()
+    for i in range(1, 5):
+        g.add_edge("h", f"x{i}")
+    g.add_vertex("u")
+    g.add_vertex("v")
+    return g
+
+
+class TestBriggsTest:
+    def test_low_degree_merge_safe(self):
+        g = star_graph()
+        assert briggs_test(g, "u", "v", 2)
+
+    def test_interfering_pair_rejected(self):
+        g = InterferenceGraph(edges=[("u", "v")])
+        assert not briggs_test(g, "u", "v", 4)
+
+    def test_counts_significant_neighbors(self):
+        # merged(u, v) sees k=2 neighbors of degree >= 2: unsafe
+        g = InterferenceGraph(
+            edges=[("u", "a"), ("v", "b"), ("a", "x"), ("b", "x")]
+        )
+        assert not briggs_test(g, "u", "v", 2)
+
+    def test_common_neighbor_degree_adjusted(self):
+        # w adjacent to both u and v: in the merged graph its degree
+        # drops by one, below k
+        g = InterferenceGraph(edges=[("u", "w"), ("v", "w"), ("w", "z")])
+        # deg(w)=3 before merge; after merge 2 < 3=k: not significant
+        assert briggs_test(g, "u", "v", 3)
+
+    def test_permutation_gadget_refused(self):
+        g = padded_permutation_gadget(4)
+        assert not briggs_test(g, "u1", "v1", 6)
+
+
+class TestGeorgeTest:
+    def test_subset_neighbors_safe(self):
+        # all significant neighbors of u are neighbors of v
+        g = InterferenceGraph(
+            edges=[("u", "a"), ("v", "a"), ("v", "b"), ("a", "x"), ("a", "y")]
+        )
+        assert george_test(g, "u", "v", 2)
+
+    def test_low_degree_neighbors_ignored(self):
+        g = InterferenceGraph(edges=[("u", "a"), ("v", "b")])
+        # a has degree 1 < k: ignored, test passes
+        assert george_test(g, "u", "v", 2)
+
+    def test_asymmetry(self):
+        g = InterferenceGraph(
+            edges=[("u", "a"), ("a", "x"), ("a", "y"), ("v", "a"), ("v", "b"), ("b", "p"), ("b", "q")]
+        )
+        # u's significant neighbour a is a neighbour of v: u->v passes
+        assert george_test(g, "u", "v", 2)
+        # v's significant neighbour b is not a neighbour of u: v->u fails
+        assert not george_test(g, "v", "u", 2)
+        assert george_test_both(g, "u", "v", 2)
+
+    def test_interfering_rejected(self):
+        g = InterferenceGraph(edges=[("u", "v")])
+        assert not george_test(g, "u", "v", 3)
+
+    def test_permutation_gadget_refused(self):
+        g = padded_permutation_gadget(4)
+        assert not george_test_both(g, "u1", "v1", 6)
+
+
+class TestBruteForceTest:
+    def test_accepts_where_local_rules_fail(self):
+        g = padded_permutation_gadget(4)
+        assert brute_force_test(g, "u1", "v1", 6)
+        assert not briggs_george_test(g, "u1", "v1", 6)
+
+    def test_rejects_unsafe(self):
+        g = InterferenceGraph()
+        # merging u, v creates K4 out of a 3-colorable graph
+        for a in ("x", "y", "z"):
+            g.add_edge("u", a)
+            g.add_edge("v", a)
+        g.add_edge("x", "y")
+        g.add_edge("y", "z")
+        g.add_edge("x", "z")
+        assert not brute_force_test(g, "u", "v", 3)
+
+    def test_interfering_rejected(self):
+        g = InterferenceGraph(edges=[("u", "v")])
+        assert not brute_force_test(g, "u", "v", 3)
+
+
+class TestConservativeCoalesce:
+    def test_unknown_test_rejected(self):
+        with pytest.raises(ValueError):
+            conservative_coalesce(InterferenceGraph(), 2, test="nope")
+
+    def test_uncolorable_input_rejected(self):
+        g = InterferenceGraph()
+        for u, v in complete_graph(4).edges():
+            g.add_edge(u, v)
+        with pytest.raises(ValueError):
+            conservative_coalesce(g, 3)
+
+    def test_check_input_can_be_skipped(self):
+        g = InterferenceGraph()
+        for u, v in complete_graph(4).edges():
+            g.add_edge(u, v)
+        r = conservative_coalesce(g, 3, check_input=False)
+        assert r.num_coalesced == 0
+
+    def test_quotient_stays_greedy_colorable(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            from repro.challenge.generator import pressure_instance
+
+            inst = pressure_instance(5, 6, margin=1, rng=rng)
+            for test in ("briggs", "george", "briggs_george", "brute"):
+                r = conservative_coalesce(inst.graph, inst.k, test=test)
+                q = r.coalesced_graph()
+                assert is_greedy_k_colorable(q, inst.k), (seed, test)
+
+    def test_figure3_local_rules_coalesce_nothing(self):
+        g = padded_permutation_gadget(4)
+        for test in ("briggs", "george", "briggs_george"):
+            r = conservative_coalesce(g, 6, test=test)
+            assert r.num_coalesced == 0, test
+
+    def test_figure3_brute_force_coalesces_all(self):
+        g = padded_permutation_gadget(4)
+        r = conservative_coalesce(g, 6, test="brute")
+        assert r.num_coalesced == 4
+
+    def test_incremental_trap_brute_refuses_both(self):
+        # Figure 3 right: one-at-a-time conservative coalescing refuses
+        # both affinities even with the brute-force test
+        g = incremental_trap_gadget()
+        r = conservative_coalesce(g, 3, test="brute")
+        assert r.num_coalesced == 0
+
+    def test_fixpoint_retries_refused_affinities(self):
+        # coalescing a cheap move can unlock an expensive one: the
+        # worklist must retry. Build: (a,b) heavy blocked until (c,d)
+        # merges and drops a common neighbour's degree.
+        g = padded_permutation_gadget(3)  # k = 4
+        r = conservative_coalesce(g, 4, test="brute")
+        # brute force should still find all three safe in sequence or
+        # report a consistent fixpoint
+        q = r.coalesced_graph()
+        assert is_greedy_k_colorable(q, 4)
+
+    def test_weights_reported(self):
+        g = permutation_gadget(3)
+        r = conservative_coalesce(g, 6, test="brute")
+        assert r.coalesced_weight == 3.0
+        assert r.residual_weight == 0.0

@@ -1,0 +1,134 @@
+"""Tests for dominators, dominance frontiers, and loop depths."""
+
+import pytest
+
+from repro.ir.cfg import Function
+from repro.ir.dominance import DominatorTree, dominance_frontiers, loop_depths
+
+
+def diamond() -> Function:
+    f = Function()
+    f.add_edge("entry", "then")
+    f.add_edge("entry", "else")
+    f.add_edge("then", "join")
+    f.add_edge("else", "join")
+    return f
+
+
+def loop() -> Function:
+    f = Function()
+    f.add_edge("entry", "head")
+    f.add_edge("head", "body")
+    f.add_edge("body", "head")
+    f.add_edge("head", "exit")
+    return f
+
+
+class TestDominatorTree:
+    def test_diamond_idoms(self):
+        t = DominatorTree(diamond())
+        assert t.idom["then"] == "entry"
+        assert t.idom["else"] == "entry"
+        assert t.idom["join"] == "entry"
+        assert t.idom["entry"] is None
+
+    def test_loop_idoms(self):
+        t = DominatorTree(loop())
+        assert t.idom["head"] == "entry"
+        assert t.idom["body"] == "head"
+        assert t.idom["exit"] == "head"
+
+    def test_dominates_reflexive(self):
+        t = DominatorTree(diamond())
+        assert t.dominates("join", "join")
+
+    def test_dominates_transitive(self):
+        f = Function()
+        f.add_edge("entry", "a")
+        f.add_edge("a", "b")
+        t = DominatorTree(f)
+        assert t.dominates("entry", "b")
+        assert t.strictly_dominates("entry", "b")
+        assert not t.strictly_dominates("b", "b")
+
+    def test_branch_does_not_dominate_join(self):
+        t = DominatorTree(diamond())
+        assert not t.dominates("then", "join")
+
+    def test_depths(self):
+        t = DominatorTree(loop())
+        assert t.depth("entry") == 0
+        assert t.depth("body") == 2
+
+    def test_children(self):
+        t = DominatorTree(diamond())
+        assert set(t.children["entry"]) == {"then", "else", "join"}
+
+    def test_dfs_preorder_starts_at_entry(self):
+        t = DominatorTree(loop())
+        pre = t.dfs_preorder()
+        assert pre[0] == "entry"
+        assert set(pre) == {"entry", "head", "body", "exit"}
+
+    def test_nested_loops(self):
+        f = Function()
+        f.add_edge("entry", "h1")
+        f.add_edge("h1", "h2")
+        f.add_edge("h2", "b2")
+        f.add_edge("b2", "h2")
+        f.add_edge("h2", "l1")
+        f.add_edge("l1", "h1")
+        f.add_edge("h1", "exit")
+        t = DominatorTree(f)
+        assert t.idom["h2"] == "h1"
+        assert t.idom["b2"] == "h2"
+        assert t.idom["exit"] == "h1"
+
+
+class TestDominanceFrontiers:
+    def test_diamond(self):
+        df = dominance_frontiers(diamond())
+        assert df["then"] == {"join"}
+        assert df["else"] == {"join"}
+        assert df["entry"] == set()
+        assert df["join"] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        df = dominance_frontiers(loop())
+        assert "head" in df["body"]
+        assert "head" in df["head"]
+
+    def test_unreachable_ignored(self):
+        f = diamond()
+        f.add_block("island")
+        df = dominance_frontiers(f)
+        assert "island" not in df
+
+
+class TestLoopDepths:
+    def test_straightline(self):
+        f = Function()
+        f.add_edge("entry", "a")
+        assert loop_depths(f) == {"entry": 0, "a": 0}
+
+    def test_single_loop(self):
+        d = loop_depths(loop())
+        assert d["head"] == 1
+        assert d["body"] == 1
+        assert d["entry"] == 0
+        assert d["exit"] == 0
+
+    def test_nested_loop_depth_two(self):
+        f = Function()
+        f.add_edge("entry", "h1")
+        f.add_edge("h1", "h2")
+        f.add_edge("h2", "b")
+        f.add_edge("b", "h2")
+        f.add_edge("h2", "c")
+        f.add_edge("c", "h1")
+        f.add_edge("h1", "exit")
+        d = loop_depths(f)
+        assert d["b"] == 2
+        assert d["h2"] == 2
+        assert d["h1"] == 1
+        assert d["exit"] == 0

@@ -1,0 +1,110 @@
+"""Tests for the exact conservative-coalescing branch-and-bound."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.coalescing.conservative import conservative_coalesce
+from repro.coalescing.exact import optimal_conservative_coalescing
+from repro.challenge.generator import pressure_instance
+from repro.graphs.generators import (
+    complete_graph,
+    incremental_trap_gadget,
+    padded_permutation_gadget,
+)
+from repro.graphs.greedy import is_greedy_k_colorable
+from repro.graphs.coloring import is_k_colorable
+from repro.graphs.interference import Coalescing, InterferenceGraph
+
+
+class TestOptimalConservative:
+    def test_unknown_target(self):
+        with pytest.raises(ValueError):
+            optimal_conservative_coalescing(InterferenceGraph(), 3, target="x")
+
+    def test_uncolorable_raises(self):
+        g = InterferenceGraph()
+        for u, v in complete_graph(4).edges():
+            g.add_edge(u, v)
+        with pytest.raises(ValueError):
+            optimal_conservative_coalescing(g, 3)
+
+    def test_trap_gadget_optimum_is_both(self):
+        # exact search must find the simultaneous coalescing that the
+        # incremental heuristics miss (Figure 3 right)
+        g = incremental_trap_gadget()
+        r = optimal_conservative_coalescing(g, 3, target="greedy")
+        assert r.num_coalesced == 2
+        assert r.residual_weight == 0.0
+
+    def test_permutation_gadget_all_coalesced(self):
+        g = padded_permutation_gadget(4)
+        r = optimal_conservative_coalescing(g, 6)
+        assert r.num_coalesced == 4
+
+    def test_quotient_meets_target(self):
+        for seed in range(5):
+            inst = pressure_instance(4, 5, margin=0, rng=random.Random(seed),
+                                     copy_fraction=0.5)
+            for target, check in (
+                ("greedy", is_greedy_k_colorable),
+                ("kcolorable", is_k_colorable),
+            ):
+                r = optimal_conservative_coalescing(
+                    inst.graph, inst.k, target=target
+                )
+                assert check(r.coalescing.coalesced_graph(), inst.k)
+
+    def test_never_worse_than_heuristics(self):
+        for seed in range(5):
+            inst = pressure_instance(4, 5, margin=0, rng=random.Random(seed),
+                                     copy_fraction=0.5)
+            exact = optimal_conservative_coalescing(inst.graph, inst.k)
+            for test in ("briggs", "george", "briggs_george", "brute"):
+                h = conservative_coalesce(inst.graph, inst.k, test=test)
+                assert exact.residual_weight <= h.residual_weight + 1e-9
+
+    def test_kcolorable_at_least_as_good_as_greedy(self):
+        # the k-colorable target is a relaxation of the greedy target
+        for seed in range(4):
+            inst = pressure_instance(4, 4, margin=0, rng=random.Random(seed),
+                                     copy_fraction=0.5)
+            g = optimal_conservative_coalescing(inst.graph, inst.k, "greedy")
+            kc = optimal_conservative_coalescing(inst.graph, inst.k, "kcolorable")
+            assert kc.residual_weight <= g.residual_weight + 1e-9
+
+    def test_matches_enumeration(self):
+        for seed in range(4):
+            inst = pressure_instance(3, 4, margin=0, rng=random.Random(seed),
+                                     copy_fraction=0.5)
+            graph = inst.graph
+            if graph.num_affinities() > 6:
+                continue
+            exact = optimal_conservative_coalescing(graph, inst.k)
+            affs = [(u, v, w) for u, v, w in graph.affinities()]
+            best = float("inf")
+            n = len(affs)
+            for mask in range(2 ** n):
+                c = Coalescing(graph)
+                ok = True
+                for i in range(n):
+                    if mask >> i & 1:
+                        u, v, _ = affs[i]
+                        if c.can_union(u, v):
+                            c.union(u, v)
+                        else:
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                if is_greedy_k_colorable(c.coalesced_graph(), inst.k):
+                    best = min(best, c.uncoalesced_weight())
+            assert abs(exact.residual_weight - best) < 1e-9, seed
+
+    def test_node_limit(self):
+        g = InterferenceGraph(
+            affinities=[(f"a{i}", f"b{i}") for i in range(12)]
+        )
+        with pytest.raises(RuntimeError):
+            optimal_conservative_coalescing(g, 2, node_limit=2)

@@ -1,0 +1,163 @@
+"""Property-based fuzzing of structural invariants.
+
+Random operation sequences against Graph / InterferenceGraph /
+Coalescing, checking that the core invariants survive any interleaving
+of mutations — the kind of misuse a downstream client would produce.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.coloring import verify_coloring
+from repro.graphs.generators import random_graph
+from repro.graphs.graph import Graph
+from repro.graphs.greedy import (
+    coloring_number,
+    greedy_k_coloring,
+    is_greedy_k_colorable,
+)
+from repro.graphs.interference import Coalescing, InterferenceGraph
+
+NAMES = [f"n{i}" for i in range(10)]
+
+
+def check_graph_invariants(g: Graph) -> None:
+    # adjacency symmetric, no loops, degree consistency
+    for v in g.vertices:
+        assert v not in g.neighbors_view(v)
+        for u in g.neighbors_view(v):
+            assert v in g.neighbors_view(u)
+        assert g.degree(v) == len(g.neighbors_view(v))
+    assert g.num_edges() * 2 == sum(g.degree(v) for v in g.vertices)
+
+
+def check_interference_invariants(g: InterferenceGraph) -> None:
+    check_graph_invariants(g)
+    for u, v, w in g.affinities():
+        assert u in g and v in g
+        assert u != v
+        assert w > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 9), st.integers(0, 9)), max_size=40))
+def test_fuzz_graph_operations(ops):
+    g = InterferenceGraph()
+    for op, a, b in ops:
+        u, v = NAMES[a], NAMES[b]
+        if op == 0:
+            g.add_vertex(u)
+        elif op == 1 and u != v:
+            g.add_edge(u, v)
+        elif op == 2:
+            if u in g:
+                g.remove_vertex(u)
+        elif op == 3:
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+        elif op == 4 and u != v:
+            g.add_affinity(u, v, 1.0 + b)
+        elif op == 5:
+            if u in g and v in g and u != v and not g.has_edge(u, v):
+                g.merge_in_place(u, v)
+        check_interference_invariants(g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_copy_subgraph_consistency(seed):
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(1, 12), rng.uniform(0.1, 0.7), rng)
+    c = g.copy()
+    assert c == g
+    keep = [v for v in g.vertices if rng.random() < 0.6]
+    sub = g.subgraph(keep)
+    check_graph_invariants(sub)
+    for u, v in sub.edges():
+        assert g.has_edge(u, v)
+    # mutating the copy leaves the original alone
+    if len(c):
+        c.remove_vertex(next(iter(c.vertices)))
+        assert len(c) == len(g) - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_coalescing_union_sequences(seed):
+    rng = random.Random(seed)
+    g = InterferenceGraph()
+    names = NAMES[: rng.randint(3, 9)]
+    for i, u in enumerate(names):
+        g.add_vertex(u)
+        for v in names[:i]:
+            if rng.random() < 0.3:
+                g.add_edge(u, v)
+    c = Coalescing(g)
+    for _ in range(15):
+        u, v = rng.choice(names), rng.choice(names)
+        if u == v:
+            continue
+        if c.can_union(u, v):
+            c.union(u, v)
+            assert c.same_class(u, v)
+        else:
+            with pytest.raises(ValueError):
+                c.union(u, v)
+    # classes partition the vertex set
+    members = [m for cls in c.classes() for m in cls]
+    assert sorted(map(str, members)) == sorted(map(str, names))
+    # no class contains an interference
+    for cls in c.classes():
+        cls = list(cls)
+        for i, u in enumerate(cls):
+            for v in cls[i + 1:]:
+                assert not g.has_edge(u, v)
+    # the quotient never invalidates (would raise)
+    c.coalesced_graph()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_greedy_coloring_consistency(seed):
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(1, 14), rng.uniform(0.1, 0.7), rng)
+    col_number = coloring_number(g)
+    for k in (col_number - 1, col_number, col_number + 2):
+        colorable = is_greedy_k_colorable(g, max(0, k))
+        coloring = greedy_k_coloring(g, max(0, k))
+        assert colorable == (coloring is not None)
+        if coloring is not None:
+            assert verify_coloring(g, coloring)
+            assert max(coloring.values(), default=-1) < max(0, k) or len(g) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_merge_preserves_coloring_semantics(seed):
+    """Merging two non-adjacent vertices never decreases the chromatic
+    number below the original and maps colourings back correctly."""
+    from repro.graphs.coloring import chromatic_number, k_coloring_exact
+
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(2, 8), rng.uniform(0.1, 0.6), rng)
+    vs = list(g.vertices)
+    pairs = [
+        (u, v)
+        for i, u in enumerate(vs)
+        for v in vs[i + 1:]
+        if not g.has_edge(u, v)
+    ]
+    if not pairs:
+        return
+    u, v = rng.choice(pairs)
+    merged = g.merged(u, v)
+    chi = chromatic_number(g)
+    chi_merged = chromatic_number(merged)
+    assert chi_merged >= chi
+    # a colouring of the merged graph lifts to one of g with c(u)==c(v)
+    lifted = k_coloring_exact(merged, chi_merged)
+    coloring = dict(lifted)
+    coloring[v] = lifted[u]
+    assert verify_coloring(g, coloring)

@@ -1,0 +1,139 @@
+"""Tests for graph generators, including the paper's Figure 3 gadgets."""
+
+import random
+
+import pytest
+
+from repro.graphs.chordal import is_chordal
+from repro.graphs.generators import (
+    augment_with_clique,
+    complete_graph,
+    cycle_graph,
+    incremental_trap_gadget,
+    padded_permutation_gadget,
+    permutation_gadget,
+    random_chordal_graph,
+    random_graph,
+    random_interval_graph,
+)
+from repro.graphs.greedy import is_greedy_k_colorable
+
+
+class TestRandomFamilies:
+    def test_random_graph_size(self):
+        g = random_graph(10, 0.5, random.Random(0))
+        assert len(g) == 10
+
+    def test_random_graph_deterministic(self):
+        a = random_graph(10, 0.5, random.Random(3))
+        b = random_graph(10, 0.5, random.Random(3))
+        assert a == b
+
+    def test_random_graph_extreme_p(self):
+        assert random_graph(6, 0.0, random.Random(0)).num_edges() == 0
+        g = random_graph(6, 1.0, random.Random(0))
+        assert g.num_edges() == 15
+
+    def test_random_chordal_chordal(self):
+        for seed in range(8):
+            assert is_chordal(random_chordal_graph(12, 4, random.Random(seed)))
+
+    def test_random_chordal_zero(self):
+        assert len(random_chordal_graph(0, 3)) == 0
+
+    def test_random_interval_chordal(self):
+        for seed in range(5):
+            assert is_chordal(
+                random_interval_graph(15, rng=random.Random(seed))
+            )
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert len(g) == 5 and g.num_edges() == 5
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges() == 10
+
+
+class TestPermutationGadget:
+    """Figure 3 (left): a permutation of n values."""
+
+    def test_structure(self):
+        g = permutation_gadget(4)
+        assert len(g) == 8
+        assert g.num_affinities() == 4
+        # two disjoint 4-cliques
+        assert g.num_edges() == 12
+
+    def test_all_moves_coalescible_together(self):
+        g = permutation_gadget(4)
+        for i in range(1, 5):
+            g.merge_in_place(f"u{i}", f"v{i}")
+        assert is_greedy_k_colorable(g, 6)
+        assert is_greedy_k_colorable(g, 4)  # K4 in fact
+
+    def test_single_merge_degree(self):
+        # the paper's observation: one coalesced move yields degree 6
+        g = permutation_gadget(4)
+        m = g.merged("u1", "v1")
+        assert m.degree("u1") == 6
+
+
+class TestPaddedPermutationGadget:
+    """Figure 3 completed with the 'other vertices not shown'."""
+
+    def test_gadget_degrees(self):
+        g = padded_permutation_gadget(4)
+        for i in range(1, 5):
+            assert g.degree(f"u{i}") == 6
+            assert g.degree(f"v{i}") == 6
+
+    def test_base_greedy_colorable(self):
+        assert is_greedy_k_colorable(padded_permutation_gadget(4), 6)
+
+    def test_all_moves_safe_together(self):
+        g = padded_permutation_gadget(4)
+        for i in range(1, 5):
+            g.merge_in_place(f"u{i}", f"v{i}")
+        assert is_greedy_k_colorable(g, 6)
+
+    def test_single_merge_safe_by_brute_force(self):
+        g = padded_permutation_gadget(4)
+        m = g.merged("u1", "v1")
+        assert is_greedy_k_colorable(m, 6)
+
+    def test_other_sizes(self):
+        for n in (3, 5):
+            k = 2 * (n - 1)
+            g = padded_permutation_gadget(n)
+            assert is_greedy_k_colorable(g, k)
+
+
+class TestIncrementalTrapGadget:
+    """Figure 3 (right): safe together, unsafe one at a time."""
+
+    @pytest.fixture
+    def gadget(self):
+        return incremental_trap_gadget()
+
+    def test_base_greedy_3(self, gadget):
+        assert is_greedy_k_colorable(gadget, 3)
+
+    def test_both_coalesced_ok(self, gadget):
+        both = gadget.merged("a", "b").merged("a", "c")
+        assert is_greedy_k_colorable(both, 3)
+
+    def test_single_coalescing_breaks(self, gadget):
+        assert not is_greedy_k_colorable(gadget.merged("a", "b"), 3)
+        assert not is_greedy_k_colorable(gadget.merged("a", "c"), 3)
+
+    def test_affinities_present(self, gadget):
+        assert gadget.has_affinity("a", "b")
+        assert gadget.has_affinity("a", "c")
+
+    def test_no_interference_among_abc(self, gadget):
+        assert not gadget.has_edge("a", "b")
+        assert not gadget.has_edge("a", "c")
+        assert not gadget.has_edge("b", "c")

@@ -1,0 +1,110 @@
+"""Tests for DIMACS and DOT graph I/O."""
+
+import io
+import random
+
+import pytest
+
+from repro.graphs.generators import random_graph
+from repro.graphs.graph import Graph
+from repro.graphs.interference import InterferenceGraph
+from repro.graphs.io import (
+    dumps_dimacs,
+    loads_dimacs,
+    read_dimacs,
+    to_dot,
+    write_dimacs,
+)
+
+
+def sample() -> InterferenceGraph:
+    g = InterferenceGraph(
+        edges=[("a", "b"), ("b", "c")], affinities=[("a", "c")]
+    )
+    g.add_vertex("lonely")
+    g.add_affinity("b", "lonely", 2.5)
+    return g
+
+
+class TestDimacsWrite:
+    def test_problem_line(self):
+        text = dumps_dimacs(sample())
+        assert "p edge 4 2" in text
+
+    def test_edges_and_affinities(self):
+        text = dumps_dimacs(sample())
+        assert sum(1 for l in text.splitlines() if l.startswith("e ")) == 2
+        assert sum(1 for l in text.splitlines() if l.startswith("a ")) == 2
+
+    def test_strict_mode_hides_affinities(self):
+        text = dumps_dimacs(sample(), strict=True)
+        assert not any(l.startswith("a ") for l in text.splitlines())
+        assert any(l.startswith("c a ") for l in text.splitlines())
+
+    def test_comment(self):
+        text = dumps_dimacs(sample(), comment="hello\nworld")
+        assert "c hello" in text and "c world" in text
+
+    def test_plain_graph(self):
+        g = Graph(edges=[("x", "y")])
+        text = dumps_dimacs(g)
+        assert "p edge 2 1" in text
+
+    def test_mapping_returned(self):
+        buf = io.StringIO()
+        index = write_dimacs(sample(), buf)
+        assert sorted(index.values()) == [1, 2, 3, 4]
+
+
+class TestDimacsRead:
+    def test_roundtrip(self):
+        g = sample()
+        back = loads_dimacs(dumps_dimacs(g))
+        assert set(back.vertices) == set(g.vertices)
+        assert back.has_edge("a", "b")
+        assert back.affinity_weight("b", "lonely") == 2.5
+
+    def test_strict_roundtrip_keeps_affinities(self):
+        back = loads_dimacs(dumps_dimacs(sample(), strict=True))
+        assert back.num_affinities() == 2
+
+    def test_anonymous_vertices(self):
+        back = loads_dimacs("p edge 3 1\ne 1 3\n")
+        assert set(back.vertices) == {"1", "2", "3"}
+        assert back.has_edge("1", "3")
+
+    def test_missing_problem_line(self):
+        with pytest.raises(ValueError):
+            loads_dimacs("e 1 2\n")
+
+    def test_malformed_edge(self):
+        with pytest.raises(ValueError):
+            loads_dimacs("p edge 2 1\ne 1\n")
+
+    def test_unknown_record(self):
+        with pytest.raises(ValueError):
+            loads_dimacs("p edge 1 0\nz 1\n")
+
+    def test_random_roundtrip(self):
+        for seed in range(5):
+            g = random_graph(12, 0.3, random.Random(seed))
+            back = loads_dimacs(dumps_dimacs(g))
+            assert {frozenset(e) for e in back.edges()} == {
+                frozenset(e) for e in g.edges()
+            }
+
+
+class TestDot:
+    def test_solid_and_dashed(self):
+        dot = to_dot(sample())
+        assert '"a" -- "b";' in dot
+        assert "style=dashed" in dot
+
+    def test_coloring_fills(self):
+        dot = to_dot(sample(), coloring={"a": 0, "b": 1, "c": 0, "lonely": 2})
+        assert "lightblue" in dot and "lightpink" in dot
+
+    def test_is_valid_dot_shape(self):
+        dot = to_dot(sample(), name="T")
+        assert dot.startswith("graph T {")
+        assert dot.rstrip().endswith("}")

@@ -1,0 +1,161 @@
+"""Tests for incremental conservative coalescing (Theorems 4 & 5).
+
+The centrepiece: the polynomial chordal algorithm of Theorem 5 is
+validated against the exact colouring oracle over hundreds of random
+chordal instances, including the k > ω slack regime.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coalescing.incremental import (
+    chordal_incremental_coalescible,
+    chordal_incremental_coloring,
+    incremental_coalescible_exact,
+)
+from repro.graphs.chordal import clique_number_chordal
+from repro.graphs.coloring import verify_coloring
+from repro.graphs.generators import random_chordal_graph
+from repro.graphs.graph import Graph
+
+
+def path_graph(*names):
+    g = Graph()
+    for a, b in zip(names, names[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+class TestExactOracle:
+    def test_simple_yes(self):
+        g = path_graph("x", "a", "y")
+        col = incremental_coalescible_exact(g, "x", "y", 2)
+        assert col is not None and col["x"] == col["y"]
+
+    def test_simple_no(self):
+        g = path_graph("x", "a", "b", "y")
+        assert incremental_coalescible_exact(g, "x", "y", 2) is None
+        assert incremental_coalescible_exact(g, "x", "y", 3) is not None
+
+    def test_adjacent_never(self):
+        g = path_graph("x", "y")
+        assert incremental_coalescible_exact(g, "x", "y", 5) is None
+
+
+class TestChordalAlgorithm:
+    def test_adjacent_pair(self):
+        g = path_graph("x", "y")
+        assert not chordal_incremental_coalescible(g, "x", "y", 3).mergeable
+
+    def test_disconnected_always_yes(self):
+        g = Graph(vertices=["x", "y"])
+        w = chordal_incremental_coalescible(g, "x", "y", 1)
+        assert w.mergeable and w.chain == []
+
+    def test_path_with_slack(self):
+        # x-a-b-y: with k=2 impossible, k=3 possible (paper Figure 5 spirit)
+        g = path_graph("x", "a", "b", "y")
+        assert not chordal_incremental_coalescible(g, "x", "y", 2).mergeable
+        assert chordal_incremental_coalescible(g, "x", "y", 3).mergeable
+
+    def test_unknown_vertex(self):
+        g = path_graph("x", "a", "y")
+        with pytest.raises(KeyError):
+            chordal_incremental_coalescible(g, "x", "zzz", 3)
+
+    def test_k_zero(self):
+        g = Graph(vertices=["x", "y"])
+        assert not chordal_incremental_coalescible(g, "x", "y", 0).mergeable
+
+    def test_omega_exceeds_k(self):
+        g = path_graph("x", "y")  # irrelevant edge
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        g.add_vertex("x")
+        g.add_vertex("y")
+        assert not chordal_incremental_coalescible(g, "x", "y", 2).mergeable
+
+    def test_interval_cover_with_middle_triangle(self):
+        # x-a, triangle {a, b, c}, b-y: the chain must hop through c
+        g = Graph(
+            edges=[("x", "a"), ("a", "b"), ("b", "y"), ("a", "c"), ("c", "b")]
+        )
+        assert not chordal_incremental_coalescible(g, "x", "y", 2).mergeable
+        w = chordal_incremental_coalescible(g, "x", "y", 3)
+        assert w.mergeable
+        exact = incremental_coalescible_exact(g, "x", "y", 3)
+        assert exact is not None
+
+    def test_witness_coloring_valid(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            g = random_chordal_graph(rng.randint(4, 12), 3, rng)
+            vs = sorted(g.vertices)
+            pairs = [
+                (a, b)
+                for a, b in itertools.combinations(vs, 2)
+                if not g.has_edge(a, b)
+            ]
+            if not pairs:
+                continue
+            x, y = rng.choice(pairs)
+            k = max(1, clique_number_chordal(g))
+            col = chordal_incremental_coloring(g, x, y, k)
+            if col is not None:
+                assert verify_coloring(g, col)
+                assert col[x] == col[y]
+                assert max(col.values()) + 1 <= k
+
+    def test_coloring_none_when_impossible(self):
+        g = path_graph("x", "a", "b", "y")
+        assert chordal_incremental_coloring(g, "x", "y", 2) is None
+
+
+class TestTheorem5AgainstOracle:
+    """The headline validation: polynomial algorithm == exact answer."""
+
+    @pytest.mark.parametrize("slack", [0, 1, 2])
+    def test_many_random_instances(self, slack):
+        trials = 0
+        for seed in range(60):
+            rng = random.Random(seed * 7 + slack)
+            g = random_chordal_graph(rng.randint(4, 12), rng.randint(2, 4), rng)
+            if len(g) < 2:
+                continue
+            w = clique_number_chordal(g)
+            k = max(1, w + slack)
+            vs = sorted(g.vertices)
+            pairs = [
+                (a, b)
+                for a, b in itertools.combinations(vs, 2)
+                if not g.has_edge(a, b)
+            ]
+            rng.shuffle(pairs)
+            for x, y in pairs[:3]:
+                trials += 1
+                fast = chordal_incremental_coalescible(g, x, y, k).mergeable
+                exact = incremental_coalescible_exact(g, x, y, k) is not None
+                assert fast == exact, (seed, x, y, k)
+        assert trials > 50
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_property_theorem5_matches_exact(seed):
+    rng = random.Random(seed)
+    g = random_chordal_graph(rng.randint(3, 10), rng.randint(2, 4), rng)
+    vs = sorted(g.vertices)
+    pairs = [
+        (a, b)
+        for a, b in itertools.combinations(vs, 2)
+        if not g.has_edge(a, b)
+    ]
+    if not pairs:
+        return
+    x, y = rng.choice(pairs)
+    k = max(1, clique_number_chordal(g) + rng.randint(0, 1))
+    fast = chordal_incremental_coalescible(g, x, y, k).mergeable
+    exact = incremental_coalescible_exact(g, x, y, k) is not None
+    assert fast == exact

@@ -1,0 +1,194 @@
+"""Unit tests for InterferenceGraph and Coalescing."""
+
+import pytest
+
+from repro.graphs.interference import (
+    Coalescing,
+    InterferenceGraph,
+    coalescing_from_mapping,
+)
+
+
+@pytest.fixture
+def small():
+    g = InterferenceGraph(
+        vertices=["a", "b", "c", "d"],
+        edges=[("a", "b"), ("c", "d")],
+        affinities=[("a", "c"), ("b", "d")],
+    )
+    return g
+
+
+class TestAffinities:
+    def test_counts(self, small):
+        assert small.num_affinities() == 2
+        assert small.total_affinity_weight() == 2.0
+
+    def test_weight_accumulates(self, small):
+        small.add_affinity("a", "c", 2.5)
+        assert small.affinity_weight("a", "c") == 3.5
+        assert small.num_affinities() == 2
+
+    def test_weight_symmetric(self, small):
+        assert small.affinity_weight("c", "a") == 1.0
+
+    def test_missing_weight_zero(self, small):
+        assert small.affinity_weight("a", "d") == 0.0
+
+    def test_self_affinity_rejected(self, small):
+        with pytest.raises(ValueError):
+            small.add_affinity("a", "a")
+
+    def test_nonpositive_weight_rejected(self, small):
+        with pytest.raises(ValueError):
+            small.add_affinity("a", "d", 0.0)
+
+    def test_affinity_adds_vertices(self):
+        g = InterferenceGraph()
+        g.add_affinity("x", "y")
+        assert "x" in g and "y" in g
+
+    def test_remove_affinity(self, small):
+        small.remove_affinity("a", "c")
+        assert not small.has_affinity("a", "c")
+
+    def test_affinity_neighbors(self, small):
+        assert small.affinity_neighbors("a") == {"c"}
+
+    def test_coalescable_excludes_interfering(self, small):
+        small.add_affinity("a", "b")  # interfering pair: frozen
+        pairs = {frozenset((u, v)) for u, v, _ in small.coalescable_affinities()}
+        assert frozenset(("a", "b")) not in pairs
+        assert frozenset(("a", "c")) in pairs
+
+    def test_remove_vertex_drops_affinities(self, small):
+        small.remove_vertex("a")
+        assert small.num_affinities() == 1
+
+    def test_copy_independent(self, small):
+        c = small.copy()
+        c.remove_affinity("a", "c")
+        assert small.has_affinity("a", "c")
+
+    def test_subgraph_restricts_affinities(self, small):
+        s = small.subgraph(["a", "c"])
+        assert s.has_affinity("a", "c")
+        assert s.num_affinities() == 1
+
+    def test_structural_graph_strips_affinities(self, small):
+        s = small.structural_graph()
+        assert s.num_edges() == 2
+        assert not hasattr(s, "affinities") or isinstance(s, type(s))
+
+
+class TestMergeWithAffinities:
+    def test_merge_folds_affinity(self, small):
+        small.merge_in_place("a", "c")
+        assert small.num_affinities() == 1  # (a,c) consumed; (b,d) remains
+
+    def test_merge_reattaches(self):
+        g = InterferenceGraph(affinities=[("a", "b"), ("b", "c")])
+        g.merge_in_place("a", "b")
+        assert g.has_affinity("a", "c")
+
+    def test_merge_accumulates_parallel_affinities(self):
+        g = InterferenceGraph(affinities=[("a", "x"), ("b", "x")])
+        g.add_vertex("a")
+        g.merge_in_place("a", "b")
+        assert g.affinity_weight("a", "x") == 2.0
+
+    def test_merge_keeps_frozen_affinity(self):
+        g = InterferenceGraph(edges=[("b", "c")], affinities=[("a", "c")])
+        g.merge_in_place("a", "b")
+        # affinity a-c now coincides with interference a-c: kept, frozen
+        assert g.has_affinity("a", "c")
+        assert g.has_edge("a", "c")
+
+
+class TestCoalescing:
+    def test_initial_classes(self, small):
+        c = Coalescing(small)
+        assert len(c.classes()) == 4
+        assert c.uncoalesced_weight() == 2.0
+
+    def test_union_and_find(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        assert c.same_class("a", "c")
+        assert not c.same_class("a", "b")
+
+    def test_union_idempotent(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        assert c.union("a", "c")
+
+    def test_union_interfering_rejected(self, small):
+        c = Coalescing(small)
+        with pytest.raises(ValueError):
+            c.union("a", "b")
+
+    def test_union_transitive_conflict(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        # b interferes with a, so class{b} cannot join class{a, c}
+        with pytest.raises(ValueError):
+            c.union("b", "c")
+
+    def test_can_union(self, small):
+        c = Coalescing(small)
+        assert c.can_union("a", "c")
+        assert not c.can_union("a", "b")
+
+    def test_members(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        assert c.members("a") == frozenset({"a", "c"})
+
+    def test_weights(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        assert c.coalesced_weight() == 1.0
+        assert c.uncoalesced_weight() == 1.0
+
+    def test_quotient_graph(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        q = c.coalesced_graph()
+        assert len(q) == 3
+        rep = c.find("a")
+        assert q.has_edge(rep, "b")
+        assert q.has_edge(rep, "d")
+
+    def test_quotient_affinity_dropped_when_interfering(self):
+        g = InterferenceGraph(
+            edges=[("b", "c")], affinities=[("a", "b"), ("a", "c")]
+        )
+        c = Coalescing(g)
+        c.union("a", "b")
+        q = c.coalesced_graph()
+        rep = c.find("a")
+        # the (a, c) affinity now crosses an interference: not represented
+        assert q.has_edge(rep, "c")
+        assert not q.has_affinity(rep, "c")
+
+    def test_as_mapping(self, small):
+        c = Coalescing(small)
+        c.union("a", "c")
+        m = c.as_mapping()
+        assert m["a"] == m["c"]
+        assert m["b"] != m["a"]
+
+
+class TestCoalescingFromMapping:
+    def test_valid(self, small):
+        c = coalescing_from_mapping(
+            small, {"a": 0, "c": 0, "b": 1, "d": 2}
+        )
+        assert c.same_class("a", "c")
+        assert c.uncoalesced_weight() == 1.0
+
+    def test_invalid_raises(self, small):
+        with pytest.raises(ValueError):
+            coalescing_from_mapping(
+                small, {"a": 0, "b": 0, "c": 1, "d": 2}
+            )

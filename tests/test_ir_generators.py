@@ -1,0 +1,77 @@
+"""Tests for the random structured-program generator."""
+
+import pytest
+
+from repro.ir.generators import GeneratorConfig, random_function
+from repro.ir.liveness import check_strict, maxlive
+from repro.ir.cfg import Function
+
+
+class TestRandomFunction:
+    def test_deterministic(self):
+        a = random_function(7)
+        b = random_function(7)
+        assert str(a) == str(b)
+
+    def test_different_seeds_differ(self):
+        assert str(random_function(1)) != str(random_function(2))
+
+    def test_always_strict(self):
+        for seed in range(50):
+            assert check_strict(random_function(seed)) == [], seed
+
+    def test_reachable_everything(self):
+        for seed in range(10):
+            f = random_function(seed)
+            assert f.reachable() == set(f.block_names())
+
+    def test_has_moves_when_asked(self):
+        config = GeneratorConfig(move_fraction=0.9, max_stmts=8)
+        moves = sum(
+            len(list(random_function(seed, config).moves()))
+            for seed in range(10)
+        )
+        assert moves > 0
+
+    def test_no_moves_when_disabled(self):
+        config = GeneratorConfig(move_fraction=0.0)
+        for seed in range(5):
+            assert list(random_function(seed, config).moves()) == []
+
+    def test_var_pool_respected(self):
+        config = GeneratorConfig(num_vars=3)
+        f = random_function(0, config)
+        base_vars = {v for v in f.variables()}
+        assert base_vars <= {"v0", "v1", "v2"}
+
+    def test_nesting_bounded(self):
+        config = GeneratorConfig(max_depth=1, max_stmts=2)
+        f = random_function(3, config)
+        assert len(f.blocks) < 40
+
+    def test_returns_function(self):
+        assert isinstance(random_function(0), Function)
+
+    def test_ret_arity_bounded(self):
+        for seed in range(20):
+            f = random_function(seed)
+            rets = [
+                i
+                for b in f.blocks.values()
+                for i in b.instrs
+                if i.op == "ret"
+            ]
+            assert rets
+            assert all(len(r.uses) <= 2 for r in rets)
+
+    def test_loops_generated(self):
+        config = GeneratorConfig(loop_fraction=1.0, max_depth=3)
+        has_loop = False
+        for seed in range(20):
+            f = random_function(seed, config)
+            names = set(f.block_names())
+            for b in names:
+                for s in f.successors(b):
+                    if s.startswith("head"):
+                        has_loop = True
+        assert has_loop

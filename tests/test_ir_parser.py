@@ -1,0 +1,134 @@
+"""Tests for the IR text parser / serializer."""
+
+import io
+
+import pytest
+
+from repro.ir import (
+    Function,
+    FunctionBuilder,
+    GeneratorConfig,
+    IRSyntaxError,
+    construct_ssa,
+    format_function,
+    parse_function,
+    parse_functions,
+    random_function,
+)
+
+
+def same_function(a: Function, b: Function) -> bool:
+    """Semantic equality: same blocks, instructions, φs, edges, freqs."""
+    if a.entry != b.entry or set(a.block_names()) != set(b.block_names()):
+        return False
+    for name in a.block_names():
+        ba, bb = a.blocks[name], b.blocks[name]
+        if [str(i) for i in ba.instrs] != [str(i) for i in bb.instrs]:
+            return False
+        if sorted(map(str, ba.phis)) != sorted(map(str, bb.phis)):
+            return False
+        if a.successors(name) != b.successors(name):
+            return False
+    return a.frequency == b.frequency
+
+
+class TestParse:
+    def test_minimal(self):
+        f = parse_function("entry:\n  x = const\n  ret x\n")
+        assert f.entry == "entry"
+        assert [i.op for i in f.blocks["entry"].instrs] == ["const", "ret"]
+
+    def test_header_sets_name_and_entry(self):
+        f = parse_function("func g entry start\nstart:\n  nop\n")
+        assert f.name == "g" and f.entry == "start"
+
+    def test_edges(self):
+        f = parse_function("a:\n  -> b, c\nb:\nc:\n")
+        assert f.successors("a") == ["b", "c"]
+
+    def test_phi(self):
+        text = "a:\n  x = const\n  -> j\nj:\n  y = phi(a: x)\n  ret y\n"
+        f = parse_function(text)
+        phi = f.blocks["j"].phis[0]
+        assert phi.target == "y" and phi.args == {"a": "x"}
+
+    def test_multi_def(self):
+        f = parse_function("entry:\n  p, q = pair\n  ret p, q\n")
+        instr = f.blocks["entry"].instrs[0]
+        assert instr.defs == ("p", "q")
+
+    def test_bare_use_ops(self):
+        f = parse_function("entry:\n  br c\n")
+        instr = f.blocks["entry"].instrs[0]
+        assert instr.op == "br" and instr.uses == ("c",)
+
+    def test_comments_and_blanks(self):
+        f = parse_function("# hi\nentry:\n\n  x = const  # def x\n")
+        assert len(f.blocks["entry"].instrs) == 1
+
+    def test_frequency(self):
+        f = parse_function("entry:\n  nop\nfreq entry 10\n")
+        assert f.block_frequency("entry") == 10.0
+
+    def test_statement_before_block_rejected(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("x = const\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("# nothing\n")
+
+    def test_bad_phi_arg(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("e:\n  x = phi(no-colon)\n")
+
+    def test_bad_mov_shape(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("e:\n  a, b = mov c\n")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("func f entry missing\nother:\n  nop\n")
+
+    def test_phi_pred_mismatch_rejected(self):
+        # validate() runs at the end
+        with pytest.raises(ValueError):
+            parse_function("e:\n  -> j\nj:\n  x = phi(wrong: v)\n")
+
+
+class TestRoundTrip:
+    def test_idempotent_serialization(self):
+        for seed in range(15):
+            f = construct_ssa(random_function(seed, GeneratorConfig(num_vars=6)))
+            once = format_function(parse_function(format_function(f)))
+            twice = format_function(parse_function(once))
+            assert once == twice, seed
+
+    def test_semantic_equality(self):
+        for seed in range(15):
+            f = construct_ssa(random_function(seed, GeneratorConfig(num_vars=6)))
+            g = parse_function(format_function(f))
+            assert same_function(f, g), seed
+
+    def test_frequencies_roundtrip(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").ret("a")
+        fb.frequency("entry", 2.5)
+        f = fb.finish()
+        g = parse_function(format_function(f))
+        assert g.block_frequency("entry") == 2.5
+
+
+class TestParseMany:
+    def test_stream_of_functions(self):
+        text = (
+            "func a entry e\ne:\n  nop\n"
+            "func b entry e\ne:\n  x = const\n  ret x\n"
+        )
+        funcs = parse_functions(io.StringIO(text))
+        assert [f.name for f in funcs] == ["a", "b"]
+        assert len(funcs[1].blocks["e"].instrs) == 2
+
+    def test_headerless_single(self):
+        funcs = parse_functions(io.StringIO("e:\n  nop\n"))
+        assert len(funcs) == 1

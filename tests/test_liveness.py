@@ -1,0 +1,178 @@
+"""Tests for liveness analysis, Maxlive, and strictness checking."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import Instr
+from repro.ir.liveness import (
+    check_strict,
+    compute_liveness,
+    dead_code_vars,
+    live_at_points,
+    maxlive,
+)
+
+
+def straightline():
+    fb = FunctionBuilder()
+    fb.block("entry").const("a").const("b").op("add", "c", "a", "b").ret("c")
+    return fb.finish()
+
+
+def diamond_func():
+    fb = FunctionBuilder()
+    fb.block("entry").const("x").const("c").branch("c")
+    fb.block("then").op("add", "y", "x")
+    fb.block("else").op("mul", "y", "x", "x")
+    fb.block("join").ret("y")
+    fb.edges(("entry", "then"), ("entry", "else"), ("then", "join"), ("else", "join"))
+    return fb.finish()
+
+
+class TestLiveness:
+    def test_straightline_live_sets(self):
+        f = straightline()
+        info = compute_liveness(f)
+        assert info.live_in["entry"] == set()
+        assert info.live_out["entry"] == set()
+
+    def test_diamond_live_through(self):
+        f = diamond_func()
+        info = compute_liveness(f)
+        assert "x" in info.live_out["entry"]
+        assert info.live_in["join"] == {"y"}
+        assert info.live_in["then"] == {"x"}
+
+    def test_loop_live_range(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("i").const("n")
+        fb.block("head").op("cmp", "t", "i", "n").branch("t")
+        fb.block("body").op("add", "i2", "i")
+        fb.block("exit").ret("i")
+        fb.edges(("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit"))
+        f = fb.finish()
+        info = compute_liveness(f)
+        # i is live around the loop
+        assert "i" in info.live_out["body"]
+        assert "n" in info.live_out["body"]
+
+    def test_phi_argument_live_out_of_pred(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").const("c").branch("c")
+        fb.block("left").const("b1")
+        fb.block("right").const("b2")
+        fb.block("join").phi("x", left="b1", right="b2").ret("x")
+        fb.edges(("entry", "left"), ("entry", "right"), ("left", "join"), ("right", "join"))
+        f = fb.finish()
+        info = compute_liveness(f)
+        assert "b1" in info.live_out["left"]
+        assert "b2" not in info.live_out["left"]
+        # φ-target is not live-in of the join
+        assert "x" not in info.live_in["join"]
+
+    def test_phi_target_used_in_own_block(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a")
+        fb.block("next").phi("x", entry="a").op("add", "y", "x").ret("y")
+        fb.edge("entry", "next")
+        f = fb.finish()
+        info = compute_liveness(f)
+        assert "x" not in info.live_in["next"]
+        assert "a" in info.live_out["entry"]
+
+
+class TestLiveAtPoints:
+    def test_points_cover_block(self):
+        f = straightline()
+        points = live_at_points(f)
+        assert ("entry", 0) in points
+        assert ("entry", 4) in points  # block end
+
+    def test_pressure_profile(self):
+        f = straightline()
+        points = live_at_points(f)
+        # just before the add, a and b are live
+        assert points[("entry", 2)] == {"a", "b"}
+        assert points[("entry", 3)] == {"c"}
+
+
+class TestMaxlive:
+    def test_straightline(self):
+        assert maxlive(straightline()) == 2
+
+    def test_dead_def_counts_at_its_point(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").const("dead").ret("a")
+        f = fb.finish()
+        # at the def of `dead`, both a and dead are live
+        assert maxlive(f) == 2
+
+    def test_multi_def_instruction(self):
+        fb = FunctionBuilder()
+        fb.func.blocks["entry"].instrs.append(Instr("pair", ("p", "q"), ()))
+        fb.block("entry").ret("p", "q")
+        assert maxlive(fb.finish()) == 2
+
+    def test_phi_targets_count_in_parallel(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").const("b")
+        nxt = fb.block("next")
+        nxt.phi("x", entry="a").phi("y", entry="b")
+        nxt.ret("x", "y")
+        fb.edge("entry", "next")
+        assert maxlive(fb.finish()) == 2
+
+
+class TestStrictness:
+    def test_strict_program(self):
+        assert check_strict(diamond_func()) == []
+
+    def test_use_before_def(self):
+        fb = FunctionBuilder()
+        fb.block("entry").op("add", "y", "x").ret("y")
+        f = fb.finish()
+        problems = check_strict(f)
+        assert problems and "x" in problems[0]
+
+    def test_partially_assigned_join(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("c").branch("c")
+        fb.block("then").const("x")
+        fb.block("else").const("other")
+        fb.block("join").ret("x")
+        fb.edges(("entry", "then"), ("entry", "else"), ("then", "join"), ("else", "join"))
+        problems = check_strict(fb.finish())
+        assert any("x" in p for p in problems)
+
+    def test_phi_arg_unassigned(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("c").branch("c")
+        fb.block("left").const("v")
+        fb.block("right").const("w")
+        fb.block("join").phi("x", left="v", right="nope").ret("x")
+        fb.edges(("entry", "left"), ("entry", "right"), ("left", "join"), ("right", "join"))
+        problems = check_strict(fb.finish())
+        assert any("nope" in p for p in problems)
+
+    def test_loop_carried_ok(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("i")
+        fb.block("head").op("cmp", "t", "i").branch("t")
+        fb.block("body").op("add", "i", "i")
+        fb.block("exit").ret("i")
+        fb.edges(("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit"))
+        assert check_strict(fb.finish()) == []
+
+
+class TestDeadCode:
+    def test_detects_unused_def(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").const("dead").ret("a")
+        assert dead_code_vars(fb.finish()) == {"dead"}
+
+    def test_phi_arg_counts_as_use(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a")
+        fb.block("next").phi("x", entry="a").ret("x")
+        fb.edge("entry", "next")
+        assert dead_code_vars(fb.finish()) == set()

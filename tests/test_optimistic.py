@@ -1,0 +1,134 @@
+"""Tests for optimistic coalescing and exact de-coalescing (Section 5)."""
+
+import random
+
+import pytest
+
+from repro.coalescing.optimistic import decoalesce_minimum, optimistic_coalesce
+from repro.coalescing.conservative import conservative_coalesce
+from repro.challenge.generator import pressure_instance
+from repro.graphs.generators import (
+    complete_graph,
+    incremental_trap_gadget,
+    padded_permutation_gadget,
+    permutation_gadget,
+)
+from repro.graphs.greedy import is_greedy_k_colorable
+from repro.graphs.interference import Coalescing, InterferenceGraph
+
+
+class TestOptimisticCoalesce:
+    def test_quotient_always_greedy_colorable(self):
+        for seed in range(8):
+            inst = pressure_instance(5, 6, margin=0, rng=random.Random(seed))
+            r = optimistic_coalesce(inst.graph, inst.k)
+            assert is_greedy_k_colorable(r.coalesced_graph(), inst.k), seed
+
+    def test_beats_or_ties_local_rules(self):
+        for seed in range(8):
+            inst = pressure_instance(5, 8, margin=0, rng=random.Random(seed))
+            opt = optimistic_coalesce(inst.graph, inst.k)
+            briggs = conservative_coalesce(inst.graph, inst.k, test="briggs")
+            assert opt.residual_weight <= briggs.residual_weight + 1e-9, seed
+
+    def test_trap_gadget_solved(self):
+        # the incremental trap defeats one-at-a-time conservatism but
+        # not optimistic coalescing (both moves coalesced together)
+        g = incremental_trap_gadget()
+        r = optimistic_coalesce(g, 3)
+        assert r.num_coalesced == 2
+
+    def test_permutation_gadget_solved(self):
+        g = padded_permutation_gadget(4)
+        r = optimistic_coalesce(g, 6)
+        assert r.num_coalesced == 4
+
+    def test_uncolorable_input_raises(self):
+        g = InterferenceGraph()
+        for u, v in complete_graph(4).edges():
+            g.add_edge(u, v)
+        g.add_affinity("k0", "extra")
+        with pytest.raises(ValueError):
+            optimistic_coalesce(g, 3)
+
+    def test_no_affinities(self):
+        g = InterferenceGraph(edges=[("a", "b")])
+        r = optimistic_coalesce(g, 2)
+        assert r.num_coalesced == 0
+        assert r.residual_weight == 0.0
+
+    def test_recoalesce_improves_or_ties(self):
+        for seed in range(6):
+            inst = pressure_instance(4, 8, margin=0, rng=random.Random(seed))
+            with_rc = optimistic_coalesce(inst.graph, inst.k, recoalesce=True)
+            without = optimistic_coalesce(inst.graph, inst.k, recoalesce=False)
+            assert with_rc.residual_weight <= without.residual_weight + 1e-9
+
+
+class TestDecoalesceMinimum:
+    def test_zero_when_already_colorable(self):
+        g = permutation_gadget(3)
+        assert decoalesce_minimum(g, 6) == []
+
+    def test_trap_needs_zero(self):
+        g = incremental_trap_gadget()
+        assert decoalesce_minimum(g, 3) == []
+
+    def test_forced_decoalescing(self):
+        # u-v affinity whose merge creates K4 at k=3: must give it up
+        g = InterferenceGraph()
+        g.add_edge("u", "x")
+        g.add_edge("u", "y")
+        g.add_edge("v", "y")
+        g.add_edge("v", "z")
+        g.add_edge("x", "y")
+        g.add_edge("y", "z")
+        g.add_edge("x", "z")
+        g.add_affinity("u", "v")
+        assert is_greedy_k_colorable(g, 3)
+        merged = g.merged("u", "v")
+        assert not is_greedy_k_colorable(merged, 3)
+        result = decoalesce_minimum(g, 3)
+        assert result in ([("u", "v")], [("v", "u")])
+
+    def test_none_when_base_not_colorable(self):
+        g = InterferenceGraph()
+        for u, v in complete_graph(4).edges():
+            g.add_edge(u, v)
+        g.add_affinity("k0", "ext")
+        assert decoalesce_minimum(g, 3) is None
+
+    def test_conflicting_affinities_rejected(self):
+        g = InterferenceGraph(edges=[("a", "b")], affinities=[("a", "b")])
+        with pytest.raises(ValueError):
+            decoalesce_minimum(g, 2)
+
+    def test_minimality_against_enumeration(self):
+        # the iterative deepening must find the same optimum as a naive
+        # full enumeration
+        from itertools import combinations
+
+        for seed in range(5):
+            inst = pressure_instance(3, 5, margin=0, rng=random.Random(seed),
+                                     copy_fraction=0.6)
+            g = inst.graph
+            # keep instances tiny
+            if g.num_affinities() > 6:
+                continue
+            best = decoalesce_minimum(g, inst.k)
+            if best is None:
+                continue
+            affs = [(u, v) for u, v, _ in g.affinities()]
+            sizes = []
+            for r in range(len(affs) + 1):
+                for subset in combinations(range(len(affs)), r):
+                    c = Coalescing(g)
+                    for i, (u, v) in enumerate(affs):
+                        if i not in subset and c.can_union(u, v):
+                            c.union(u, v)
+                    if is_greedy_k_colorable(c.coalesced_graph(), inst.k):
+                        sizes.append(r)
+                        break
+                if sizes:
+                    break
+            assert sizes and sizes[0] == len(best), seed

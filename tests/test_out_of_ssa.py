@@ -1,0 +1,231 @@
+"""Tests for out-of-SSA translation and parallel-copy sequentialization."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.generators import GeneratorConfig, random_function
+from repro.ir.liveness import check_strict
+from repro.ir.out_of_ssa import (
+    count_moves,
+    eliminate_phis,
+    phi_webs,
+    sequentialize_parallel_copy,
+)
+from repro.ir.ssa import construct_ssa
+
+
+def run_copy(pairs):
+    """Simulate a sequentialized copy and return the final environment."""
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return f"tmp{counter[0]}"
+
+    moves = sequentialize_parallel_copy(pairs, fresh)
+    env = {}
+    # initial environment: every source holds a token of its own name
+    for dst, src in pairs:
+        env.setdefault(src, f"val({src})")
+        env.setdefault(dst, f"val({dst})")
+    for dst, src in moves:
+        env[dst] = env[src]
+    return env, moves
+
+
+class TestSequentialize:
+    def test_disjoint_copies(self):
+        env, moves = run_copy([("a", "x"), ("b", "y")])
+        assert env["a"] == "val(x)" and env["b"] == "val(y)"
+        assert len(moves) == 2
+
+    def test_chain(self):
+        env, moves = run_copy([("a", "b"), ("b", "c")])
+        assert env["a"] == "val(b)"
+        assert env["b"] == "val(c)"
+
+    def test_swap_uses_temp(self):
+        env, moves = run_copy([("a", "b"), ("b", "a")])
+        assert env["a"] == "val(b)"
+        assert env["b"] == "val(a)"
+        assert len(moves) == 3  # temp + two copies
+
+    def test_three_cycle(self):
+        env, moves = run_copy([("a", "b"), ("b", "c"), ("c", "a")])
+        assert env["a"] == "val(b)"
+        assert env["b"] == "val(c)"
+        assert env["c"] == "val(a)"
+
+    def test_self_copy_dropped(self):
+        env, moves = run_copy([("a", "a")])
+        assert moves == []
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ValueError):
+            sequentialize_parallel_copy([("a", "x"), ("a", "y")], lambda: "t")
+
+    def test_mixed_cycle_and_chain(self):
+        env, moves = run_copy(
+            [("a", "b"), ("b", "a"), ("c", "a"), ("d", "c")]
+        )
+        assert env["a"] == "val(b)"
+        assert env["b"] == "val(a)"
+        assert env["c"] == "val(a)"
+        assert env["d"] == "val(c)"
+
+
+class TestEliminatePhis:
+    def diamond_ssa(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("x.0").const("c").branch("c")
+        fb.block("then").op("add", "x.1", "x.0")
+        fb.block("else").op("mul", "x.2", "x.0")
+        fb.block("join").phi("x.3", then="x.1", **{"else": "x.2"}).ret("x.3")
+        fb.edges(("entry", "then"), ("entry", "else"), ("then", "join"), ("else", "join"))
+        return fb.finish()
+
+    def test_phis_removed(self):
+        out = eliminate_phis(self.diamond_ssa())
+        assert not any(b.phis for b in out.blocks.values())
+
+    def test_moves_inserted_per_pred(self):
+        out = eliminate_phis(self.diamond_ssa())
+        assert count_moves(out) == 2
+
+    def test_still_strict(self):
+        out = eliminate_phis(self.diamond_ssa())
+        assert check_strict(out) == []
+
+    def test_moves_before_terminator(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").branch("a")
+        fb.block("next").phi("x", entry="a").ret("x")
+        fb.edge("entry", "next")
+        out = eliminate_phis(fb.finish())
+        instrs = out.blocks["entry"].instrs
+        assert instrs[-1].op == "br"
+        assert instrs[-2].is_move
+
+    def test_critical_edges_split(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").const("c").branch("c")
+        fb.block("side").const("b")
+        fb.block("join").phi("x", entry="a", side="b").ret("x")
+        fb.edges(("entry", "side"), ("entry", "join"), ("side", "join"))
+        out = eliminate_phis(fb.finish())
+        # the critical edge entry->join must have been split
+        assert "join" not in out.successors("entry")
+        assert check_strict(out) == []
+
+    def test_swap_phis_correct(self):
+        # two φs exchanging values around a loop: needs cycle breaking
+        fb = FunctionBuilder()
+        fb.block("entry").const("a0").const("b0")
+        head = fb.block("head")
+        head.phi("a1", entry="a0", body="b1")
+        head.phi("b1", entry="b0", body="a1")
+        head.op("cmp", "t", "a1").branch("t")
+        fb.block("body")
+        fb.block("exit").ret("a1", "b1")
+        fb.edges(("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit"))
+        out = eliminate_phis(fb.finish())
+        assert check_strict(out) == []
+        # the body->head edge must carry three moves (swap via temp)
+        moved = [i for _, _, i in out.moves()]
+        assert len(moved) >= 3
+
+    def test_random_roundtrip(self):
+        for seed in range(20):
+            ssa = construct_ssa(random_function(seed))
+            out = eliminate_phis(ssa)
+            assert not any(b.phis for b in out.blocks.values())
+            assert check_strict(out) == [], seed
+
+
+class TestPhiWebs:
+    def test_simple_web(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").const("c").branch("c")
+        fb.block("l").const("b")
+        fb.block("j").phi("x", entry="a", l="b").ret("x")
+        fb.edges(("entry", "l"), ("entry", "j"), ("l", "j"))
+        webs = phi_webs(fb.finish())
+        assert webs == [{"a", "b", "x"}]
+
+    def test_webs_merge_transitively(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a")
+        fb.block("m").phi("x", entry="a")
+        fb.block("n").phi("y", m="x")
+        fb.edges(("entry", "m"), ("m", "n"))
+        webs = phi_webs(fb.func)
+        assert webs == [{"a", "x", "y"}]
+
+    def test_no_phis_no_webs(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").ret("a")
+        assert phi_webs(fb.finish()) == []
+
+
+class TestCountMoves:
+    def test_weighted(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a")
+        fb.frequency("entry", 10.0)
+        f = fb.finish()
+        assert count_moves(f) == 1
+        assert count_moves(f, weighted=True) == 10.0
+
+
+class TestIsolatePhis:
+    from repro.ir.out_of_ssa import isolate_phis  # noqa: F401
+
+    def test_phis_removed_and_strict(self):
+        from repro.ir.out_of_ssa import isolate_phis
+
+        for seed in range(15):
+            ssa = construct_ssa(random_function(seed))
+            out = isolate_phis(ssa)
+            assert not any(b.phis for b in out.blocks.values())
+            assert check_strict(out) == [], seed
+
+    def test_more_copies_than_edge_based(self):
+        from repro.ir.out_of_ssa import isolate_phis
+
+        total_iso = total_edge = 0.0
+        for seed in range(15):
+            ssa = construct_ssa(random_function(seed))
+            total_iso += count_moves(isolate_phis(ssa))
+            total_edge += count_moves(eliminate_phis(ssa))
+        assert total_iso >= total_edge
+
+    def test_aggressive_coalescing_converges(self):
+        from repro.coalescing import aggressive_coalesce
+        from repro.ir.interference import chaitin_interference
+        from repro.ir.out_of_ssa import isolate_phis
+
+        for seed in range(10):
+            ssa = construct_ssa(random_function(seed))
+            iso = aggressive_coalesce(
+                chaitin_interference(isolate_phis(ssa), weighted=False)
+            )
+            edge = aggressive_coalesce(
+                chaitin_interference(eliminate_phis(ssa), weighted=False)
+            )
+            # both insertion schemes leave the same essential moves
+            assert len(iso.given_up) == len(edge.given_up), seed
+
+    def test_swap_phi_correct(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a0").const("b0")
+        head = fb.block("head")
+        head.phi("a1", entry="a0", body="b1")
+        head.phi("b1", entry="b0", body="a1")
+        head.op("cmp", "t", "a1").branch("t")
+        fb.block("body")
+        fb.block("exit").ret("a1", "b1")
+        fb.edges(("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit"))
+        from repro.ir.out_of_ssa import isolate_phis
+
+        out = isolate_phis(fb.finish())
+        assert check_strict(out) == []

@@ -1,0 +1,171 @@
+"""Tests for SAT machinery and the Theorem 4 reduction (3SAT →
+incremental conservative coalescing, Figure 4)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graphs.coloring import is_k_colorable, k_coloring_exact, verify_coloring
+from repro.reductions.incremental_reduction import (
+    assignment_to_coloring,
+    build_4sat_graph,
+    coloring_to_assignment,
+    decide_via_coalescing,
+    reduce_3sat,
+)
+from repro.reductions.sat import (
+    CNF,
+    is_satisfiable,
+    random_3sat,
+    solve_dpll,
+    three_sat_to_four_sat,
+)
+
+
+def unsat_3sat():
+    """All eight sign patterns over three variables: unsatisfiable."""
+    cnf = CNF(num_vars=3)
+    for signs in itertools.product((1, -1), repeat=3):
+        cnf.add_clause((signs[0] * 1, signs[1] * 2, signs[2] * 3))
+    return cnf
+
+
+class TestCNF:
+    def test_literal_range_checked(self):
+        with pytest.raises(ValueError):
+            CNF(num_vars=2, clauses=[(3,)])
+        with pytest.raises(ValueError):
+            CNF(num_vars=2, clauses=[(0,)])
+
+    def test_satisfaction(self):
+        cnf = CNF(num_vars=2, clauses=[(1, -2)])
+        assert cnf.is_satisfied_by({1: True, 2: True})
+        assert not cnf.is_satisfied_by({1: False, 2: True})
+
+
+class TestDPLL:
+    def test_trivial_sat(self):
+        cnf = CNF(num_vars=1, clauses=[(1,)])
+        assert solve_dpll(cnf) == {1: True}
+
+    def test_trivial_unsat(self):
+        cnf = CNF(num_vars=1, clauses=[(1,), (-1,)])
+        assert solve_dpll(cnf) is None
+
+    def test_unit_propagation_chain(self):
+        cnf = CNF(num_vars=3, clauses=[(1,), (-1, 2), (-2, 3)])
+        model = solve_dpll(cnf)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_known_unsat(self):
+        assert not is_satisfiable(unsat_3sat())
+
+    def test_model_satisfies(self):
+        for seed in range(20):
+            cnf = random_3sat(5, 12, random.Random(seed))
+            model = solve_dpll(cnf)
+            if model is not None:
+                assert cnf.is_satisfied_by(model)
+
+    def test_agrees_with_enumeration(self):
+        for seed in range(15):
+            cnf = random_3sat(4, 14, random.Random(seed + 500))
+            brute = any(
+                cnf.is_satisfied_by(dict(zip(range(1, 5), bits)))
+                for bits in itertools.product((False, True), repeat=4)
+            )
+            assert is_satisfiable(cnf) == brute, seed
+
+
+class TestThreeToFour:
+    def test_adds_x0_to_every_clause(self):
+        cnf = random_3sat(4, 6, random.Random(0))
+        four, x0 = three_sat_to_four_sat(cnf)
+        assert x0 == 5
+        assert all(len(c) == 4 and c[-1] == x0 for c in four.clauses)
+
+    def test_always_satisfiable_with_x0_true(self):
+        four, x0 = three_sat_to_four_sat(unsat_3sat())
+        model = solve_dpll(four)
+        assert model is not None and model[x0] is True
+
+    def test_rejects_non_3sat(self):
+        with pytest.raises(ValueError):
+            three_sat_to_four_sat(CNF(num_vars=2, clauses=[(1, 2)]))
+
+
+class TestFigure4Graph:
+    def test_rejects_non_4sat(self):
+        with pytest.raises(ValueError):
+            build_4sat_graph(CNF(num_vars=3, clauses=[(1, 2, 3)]))
+
+    def test_vertex_count(self):
+        cnf, _ = three_sat_to_four_sat(random_3sat(3, 4, random.Random(1)))
+        fsg = build_4sat_graph(cnf)
+        # 3 base + 2 per variable + 8 per clause
+        assert len(fsg.graph) == 3 + 2 * cnf.num_vars + 8 * len(cnf.clauses)
+
+    def test_3colorable_iff_satisfiable(self):
+        # satisfiable 4SAT
+        cnf = CNF(num_vars=4, clauses=[(1, 2, 3, 4), (-1, -2, -3, -4)])
+        fsg = build_4sat_graph(cnf)
+        assert is_k_colorable(fsg.graph, 3)
+        # clause gadget analysis: never 2-colorable (base triangle)
+        assert not is_k_colorable(fsg.graph, 2)
+
+    def test_assignment_to_coloring_roundtrip(self):
+        for seed in range(10):
+            cnf, x0 = three_sat_to_four_sat(random_3sat(3, 5, random.Random(seed)))
+            model = solve_dpll(cnf)
+            assert model is not None
+            fsg = build_4sat_graph(cnf)
+            coloring = assignment_to_coloring(fsg, model)
+            assert verify_coloring(fsg.graph, coloring), seed
+            back = coloring_to_assignment(fsg, coloring)
+            assert cnf.is_satisfied_by(back), seed
+
+    def test_unsatisfying_assignment_rejected(self):
+        cnf = CNF(num_vars=4, clauses=[(1, 2, 3, 4)])
+        fsg = build_4sat_graph(cnf)
+        with pytest.raises(ValueError):
+            assignment_to_coloring(
+                fsg, {1: False, 2: False, 3: False, 4: False}
+            )
+
+
+class TestTheorem4:
+    def test_graph_always_3colorable(self):
+        for seed in range(6):
+            red = reduce_3sat(random_3sat(3, 5, random.Random(seed)))
+            assert is_k_colorable(red.fsg.graph, 3), seed
+
+    def test_satisfiable_iff_coalescible(self):
+        for seed in range(10):
+            cnf = random_3sat(3, random.Random(seed).randint(3, 8), random.Random(seed))
+            red = reduce_3sat(cnf)
+            assert decide_via_coalescing(red) == is_satisfiable(cnf), seed
+
+    def test_unsat_instance_not_coalescible(self):
+        red = reduce_3sat(unsat_3sat())
+        assert decide_via_coalescing(red) is False
+        # yet the graph itself is 3-colorable (set x0 true)
+        assert is_k_colorable(red.fsg.graph, 3)
+
+    def test_affinity_exposed_as_interference_graph(self):
+        red = reduce_3sat(random_3sat(3, 3, random.Random(2)))
+        g = red.interference
+        assert g.num_affinities() == 1
+        (u, v, _) = next(g.affinities())
+        assert {u, v} == set(red.affinity)
+
+    def test_coalescible_certificate(self):
+        cnf = random_3sat(3, 4, random.Random(7))
+        red = reduce_3sat(cnf)
+        model = solve_dpll(cnf)
+        assert model is not None
+        model4 = dict(model)
+        model4[red.x0] = False
+        coloring = assignment_to_coloring(red.fsg, model4)
+        x, y = red.affinity
+        assert coloring[x] == coloring[y]

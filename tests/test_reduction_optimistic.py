@@ -1,0 +1,172 @@
+"""Tests for the Theorem 6 reduction (vertex cover → optimistic
+coalescing, Figures 6–7) and the vertex-cover substrate."""
+
+import random
+
+import pytest
+
+from repro.coalescing.optimistic import decoalesce_minimum, optimistic_coalesce
+from repro.graphs.graph import Graph
+from repro.graphs.greedy import is_greedy_k_colorable
+from repro.graphs.interference import Coalescing
+from repro.reductions.optimistic_reduction import (
+    K,
+    cover_to_decoalescing,
+    decoalescing_to_cover,
+    quotient_is_greedy,
+    reduce_vertex_cover,
+    structure_properties,
+)
+from repro.reductions.vertex_cover import (
+    greedy_vertex_cover,
+    has_vertex_cover,
+    is_vertex_cover,
+    min_vertex_cover,
+    random_low_degree_graph,
+)
+
+
+class TestVertexCover:
+    def test_empty_graph(self):
+        assert min_vertex_cover(Graph()) == set()
+
+    def test_single_edge(self):
+        g = Graph(edges=[("a", "b")])
+        assert len(min_vertex_cover(g)) == 1
+
+    def test_triangle_needs_two(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert len(min_vertex_cover(g)) == 2
+
+    def test_star_needs_one(self):
+        g = Graph(edges=[("h", "a"), ("h", "b"), ("h", "c")])
+        assert min_vertex_cover(g) == {"h"}
+
+    def test_cover_is_cover(self):
+        for seed in range(10):
+            g = random_low_degree_graph(8, 9, 3, random.Random(seed))
+            cover = min_vertex_cover(g)
+            assert is_vertex_cover(g, cover)
+
+    def test_greedy_within_factor_two(self):
+        for seed in range(10):
+            g = random_low_degree_graph(8, 9, 3, random.Random(seed))
+            approx = greedy_vertex_cover(g)
+            exact = min_vertex_cover(g)
+            assert is_vertex_cover(g, approx)
+            assert len(approx) <= 2 * max(1, len(exact))
+
+    def test_decision(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        assert has_vertex_cover(g, 2)
+        assert not has_vertex_cover(g, 1)
+
+    def test_degree_bound_respected(self):
+        g = random_low_degree_graph(12, 30, 3, random.Random(1))
+        assert g.max_degree() <= 3
+
+
+class TestStructure:
+    def test_all_proof_properties_hold(self):
+        props = structure_properties()
+        assert props == {name: True for name in props}
+        assert set(props) == {
+            "rigid_when_coalesced",
+            "eaten_when_decoalesced",
+            "eaten_when_neighbors_gone",
+            "stalls_with_one_branch",
+        }
+
+
+class TestReduction:
+    def test_degree_bound_enforced(self):
+        g = Graph(edges=[("h", "a"), ("h", "b"), ("h", "c"), ("h", "d")])
+        with pytest.raises(ValueError):
+            reduce_vertex_cover(g)
+
+    def test_instance_premises(self):
+        # the base graph is greedy-4-colorable and all affinities can
+        # be coalesced aggressively (the problem-statement premises)
+        g = random_low_degree_graph(4, 4, 3, random.Random(0))
+        red = reduce_vertex_cover(g)
+        assert is_greedy_k_colorable(red.interference, K)
+        full = Coalescing(red.interference)
+        for _, (a, a2) in red.hearts.items():
+            assert full.can_union(a, a2)
+            full.union(a, a2)
+
+    def test_full_coalescing_rigid_with_edges(self):
+        g = Graph(edges=[("u", "v")])
+        red = reduce_vertex_cover(g)
+        assert not quotient_is_greedy(red, set())
+
+    def test_edgeless_needs_no_decoalescing(self):
+        g = Graph(vertices=["u", "v"])
+        red = reduce_vertex_cover(g)
+        assert quotient_is_greedy(red, set())
+
+    def test_cover_iff_greedy(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            src = random_low_degree_graph(rng.randint(2, 4), rng.randint(1, 4), 3, rng)
+            red = reduce_vertex_cover(src)
+            vertices = list(src.vertices)
+            # enumerate all subsets: quotient greedy iff subset covers
+            from itertools import combinations
+
+            for r in range(len(vertices) + 1):
+                for subset in combinations(vertices, r):
+                    cover = set(subset)
+                    assert quotient_is_greedy(red, cover) == is_vertex_cover(
+                        src, cover
+                    ), (seed, cover)
+
+    def test_minimum_equality(self):
+        for seed in range(4):
+            rng = random.Random(10 + seed)
+            src = random_low_degree_graph(rng.randint(3, 4), rng.randint(2, 4), 3, rng)
+            red = reduce_vertex_cover(src)
+            mvc = min_vertex_cover(src)
+            best = decoalesce_minimum(
+                red.interference, K, max_give_up=len(mvc) + 1
+            )
+            assert best is not None
+            assert len(best) == len(mvc), seed
+
+    def test_backward_map(self):
+        src = Graph(edges=[("u", "v"), ("v", "w")])
+        red = reduce_vertex_cover(src)
+        co = cover_to_decoalescing(red, {"v"})
+        cover = decoalescing_to_cover(red, co)
+        assert cover == {"v"}
+        assert is_vertex_cover(src, cover)
+
+    def test_optimistic_heuristic_finds_valid_decoalescing(self):
+        src = Graph(edges=[("u", "v"), ("v", "w")])
+        red = reduce_vertex_cover(src)
+        result = optimistic_coalesce(red.interference, K)
+        assert is_greedy_k_colorable(result.coalesced_graph(), K)
+        cover = decoalescing_to_cover(red, result.coalescing)
+        assert is_vertex_cover(src, cover)
+
+
+class TestProperty2Lift:
+    """The paper's closing step: "with Property 2, optimistic coalescing
+    is NP-complete for any fixed k >= 4" — executable check that the
+    clique augmentation transports the instance from k=4 to k=5."""
+
+    def test_lifted_instance_equivalent(self):
+        from repro.graphs.generators import augment_with_clique
+
+        src = Graph(edges=[("u", "v"), ("v", "w")])
+        red = reduce_vertex_cover(src)
+        mvc = min_vertex_cover(src)
+        p = 1
+        lifted = augment_with_clique(red.interference, p)
+        # carry the affinities over (augment_with_clique returns a copy
+        # of the same class, so they are preserved)
+        assert lifted.num_affinities() == red.interference.num_affinities()
+        assert is_greedy_k_colorable(lifted, K + p)
+        best = decoalesce_minimum(lifted, K + p, max_give_up=len(mvc) + 1)
+        assert best is not None
+        assert len(best) == len(mvc)

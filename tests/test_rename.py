@@ -1,0 +1,78 @@
+"""Tests for applying coalescings to program text."""
+
+import pytest
+
+from repro.coalescing import aggressive_coalesce
+from repro.ir import (
+    FunctionBuilder,
+    GeneratorConfig,
+    chaitin_interference,
+    construct_ssa,
+    count_moves,
+    eliminate_phis,
+    random_function,
+    rename_by_classes,
+)
+from repro.ir.interp import equivalent
+from repro.ir.liveness import check_strict, maxlive
+
+
+class TestRenameByClasses:
+    def test_coalesced_move_disappears(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a").ret("b")
+        f = fb.finish()
+        out = rename_by_classes(f, {"a": "a", "b": "a"})
+        assert count_moves(out) == 0
+        assert out.variables() == {"a"}
+
+    def test_self_moves_kept_when_asked(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a").ret("b")
+        out = rename_by_classes(
+            fb.finish(), {"a": "a", "b": "a"}, drop_self_moves=False
+        )
+        assert count_moves(out) == 1
+
+    def test_phi_args_renamed(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a")
+        fb.block("next").phi("x", entry="a").ret("x")
+        fb.edge("entry", "next")
+        out = rename_by_classes(fb.finish(), {"a": "w", "x": "w"})
+        phi = out.blocks["next"].phis[0]
+        assert phi.target == "w" and phi.args == {"entry": "w"}
+
+    def test_original_untouched(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a").ret("b")
+        f = fb.finish()
+        before = str(f)
+        rename_by_classes(f, {"a": "a", "b": "a"})
+        assert str(f) == before
+
+    def test_semantics_preserved_on_aggressive_coalescing(self):
+        for seed in range(12):
+            f = eliminate_phis(
+                construct_ssa(
+                    random_function(seed, GeneratorConfig(num_vars=8, move_fraction=0.3))
+                )
+            )
+            result = aggressive_coalesce(chaitin_interference(f))
+            out = rename_by_classes(f, result.coalescing.as_mapping())
+            assert check_strict(out) == [], seed
+            assert equivalent(f, out), seed
+
+    def test_maxlive_never_increases(self):
+        # pointwise pressure is invariant-or-better under valid
+        # coalescing: the merged variable is live exactly where some
+        # member was
+        for seed in range(12):
+            f = eliminate_phis(
+                construct_ssa(
+                    random_function(seed, GeneratorConfig(num_vars=8, move_fraction=0.3))
+                )
+            )
+            result = aggressive_coalesce(chaitin_interference(f))
+            out = rename_by_classes(f, result.coalescing.as_mapping())
+            assert maxlive(out) <= maxlive(f), seed

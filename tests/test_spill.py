@@ -1,0 +1,144 @@
+"""Tests for spill cost estimation and spill-everywhere rewriting."""
+
+import pytest
+
+from repro.allocator.spill import (
+    is_memory_slot,
+    is_spill_temp,
+    memory_slots,
+    spill_costs,
+    spill_everywhere,
+    strip_memory_slots,
+)
+from repro.ir.builder import FunctionBuilder
+from repro.ir.generators import random_function
+from repro.ir.liveness import check_strict, compute_liveness
+from repro.ir.ssa import construct_ssa
+
+
+def loop_func():
+    fb = FunctionBuilder()
+    fb.block("entry").const("i").const("acc")
+    fb.block("head").op("cmp", "t", "i").branch("t")
+    fb.block("body").op("add", "acc", "acc", "i").op("add", "i", "i")
+    fb.block("exit").ret("acc")
+    fb.edges(("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit"))
+    return fb.finish()
+
+
+class TestSpillCosts:
+    def test_loop_vars_cost_more(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("once").use("once").const("i")
+        fb.block("head").op("cmp", "t", "i").branch("t")
+        fb.block("body").op("add", "i", "i")
+        fb.block("exit").ret("i")
+        fb.edges(("entry", "head"), ("head", "body"), ("body", "head"), ("head", "exit"))
+        costs = spill_costs(fb.finish())
+        # loop-resident variables cost far more than entry-only ones
+        assert costs["i"] > 5 * costs["once"]
+
+    def test_respects_explicit_frequencies(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").use("a")
+        fb.frequency("entry", 100.0)
+        costs = spill_costs(fb.finish())
+        assert costs["a"] == 200.0
+
+
+class TestHelpers:
+    def test_is_memory_slot(self):
+        assert is_memory_slot("slot(x)")
+        assert not is_memory_slot("x")
+
+    def test_is_spill_temp(self):
+        assert is_spill_temp("x.r3")
+        assert is_spill_temp("v1.0.r12")
+        assert not is_spill_temp("x.0")
+        assert not is_spill_temp("x")
+        assert not is_spill_temp("x.rest")
+
+
+class TestSpillEverywhere:
+    def test_no_variables_copies(self):
+        f = loop_func()
+        out = spill_everywhere(f, set())
+        assert str(out) == str(f)
+
+    def test_original_untouched(self):
+        f = loop_func()
+        before = str(f)
+        spill_everywhere(f, {"acc"})
+        assert str(f) == before
+
+    def test_loads_and_stores_inserted(self):
+        out = spill_everywhere(loop_func(), {"acc"})
+        ops = [i.op for b in out.blocks.values() for i in b.instrs]
+        assert "load" in ops and "store" in ops
+
+    def test_spilled_name_gone(self):
+        out = spill_everywhere(loop_func(), {"acc"})
+        assert "acc" not in strip_memory_slots(out.variables())
+        assert "slot(acc)" in memory_slots(out)
+
+    def test_still_strict(self):
+        for var in ("acc", "i", "t"):
+            out = spill_everywhere(loop_func(), {var})
+            assert check_strict(out) == [], var
+
+    def test_reduces_live_range(self):
+        f = loop_func()
+        out = spill_everywhere(f, {"acc"})
+        info = compute_liveness(out)
+        # acc was live through the loop; its reload temps must not be
+        for b in out.reachable():
+            for v in info.live_out[b]:
+                assert not (is_spill_temp(v) and v.startswith("acc")), (b, v)
+
+    def test_phi_target_spilled(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a0").const("c").branch("c")
+        fb.block("l").const("a1")
+        fb.block("j").phi("a2", entry="a0", l="a1").ret("a2")
+        fb.edges(("entry", "l"), ("entry", "j"), ("l", "j"))
+        out = spill_everywhere(fb.finish(), {"a2"})
+        assert not any(b.phis for b in out.blocks.values())
+        assert check_strict(out) == []
+
+    def test_phi_argument_spilled_spills_web(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a0").const("c").branch("c")
+        fb.block("l").const("a1")
+        fb.block("j").phi("x", entry="a0", l="a1").ret("x")
+        fb.edges(("entry", "l"), ("entry", "j"), ("l", "j"))
+        out = spill_everywhere(fb.finish(), {"a0"})
+        assert check_strict(out) == []
+        # spilling a φ-argument pulls the target into the spill (web
+        # closure): the φ is resolved through memory, so no reload is
+        # ever needed at the predecessor's end
+        assert not any(b.phis for b in out.blocks.values())
+        assert "x" not in strip_memory_slots(out.variables())
+        # the unspilled argument a1 stores into the shared slot
+        stores = [
+            i
+            for b in out.blocks.values()
+            for i in b.instrs
+            if i.op == "store" and i.uses == ("a1",)
+        ]
+        assert stores
+
+    def test_ssa_programs_roundtrip(self):
+        for seed in range(10):
+            ssa = construct_ssa(random_function(seed))
+            variables = sorted(strip_memory_slots(ssa.variables()))
+            if not variables:
+                continue
+            victim = variables[len(variables) // 2]
+            out = spill_everywhere(ssa, {victim})
+            assert check_strict(out) == [], seed
+
+    def test_mov_stays_mov(self):
+        fb = FunctionBuilder()
+        fb.block("entry").const("a").mov("b", "a").ret("b")
+        out = spill_everywhere(fb.finish(), {"a"})
+        assert any(i.is_move for b in out.blocks.values() for i in b.instrs)

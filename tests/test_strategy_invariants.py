@@ -1,0 +1,146 @@
+"""Strategy-agnostic invariants, fuzzed over random instances.
+
+Every coalescing strategy in the library, whatever its internals, must
+produce: a valid partition (no interference inside a class), a
+consistent ledger (coalesced + given_up = all affinities), and — for
+the colourability-preserving ones — a greedy-k-colorable quotient.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocator.irc import irc_coalescing_result
+from repro.challenge.generator import pressure_instance
+from repro.coalescing import (
+    aggressive_coalesce,
+    biased_coloring_result,
+    conservative_coalesce,
+    optimistic_coalesce,
+)
+from repro.graphs.greedy import is_greedy_k_colorable
+from repro.graphs.interference import InterferenceGraph
+
+CONSERVATIVE = [
+    "briggs",
+    "george",
+    "george_extended",
+    "briggs_george",
+    "brute",
+]
+
+
+def random_instance(seed: int):
+    rng = random.Random(seed)
+    style = rng.random()
+    if style < 0.6:
+        k = rng.randint(3, 7)
+        inst = pressure_instance(
+            k,
+            rng.randint(3, 8),
+            margin=rng.randint(0, min(2, k - 1)),
+            copy_fraction=rng.uniform(0.3, 0.9),
+            rng=rng,
+        )
+        return inst.graph, inst.k
+    # random sparse graph + random affinities, k = col(G) + slack
+    from repro.graphs.generators import random_graph
+    from repro.graphs.greedy import coloring_number
+
+    base = random_graph(rng.randint(4, 14), rng.uniform(0.1, 0.4), rng)
+    g = InterferenceGraph()
+    for v in base.vertices:
+        g.add_vertex(v)
+    for u, v in base.edges():
+        g.add_edge(u, v)
+    names = sorted(g.vertices)
+    for _ in range(rng.randint(0, 8)):
+        a, b = rng.sample(names, 2)
+        if not g.has_affinity(a, b):
+            g.add_affinity(a, b, rng.choice([1.0, 2.0, 10.0]))
+    k = max(1, coloring_number(base)) + rng.randint(0, 2)
+    return g, k
+
+
+def check_ledger(graph, result):
+    total = graph.num_affinities()
+    assert len(result.coalesced) + len(result.given_up) == total
+    for u, v, _ in result.coalesced:
+        assert result.coalescing.same_class(u, v)
+    for u, v, _ in result.given_up:
+        assert not result.coalescing.same_class(u, v)
+    assert (
+        abs(
+            result.coalesced_weight
+            + result.residual_weight
+            - graph.total_affinity_weight()
+        )
+        < 1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_aggressive_invariants(seed):
+    graph, _ = random_instance(seed)
+    result = aggressive_coalesce(graph)
+    check_ledger(graph, result)
+    result.coalesced_graph()  # raises on an invalid partition
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from(CONSERVATIVE))
+def test_conservative_invariants(seed, test):
+    graph, k = random_instance(seed)
+    if not is_greedy_k_colorable(graph, k):
+        return
+    result = conservative_coalesce(graph, k, test=test)
+    check_ledger(graph, result)
+    assert is_greedy_k_colorable(result.coalesced_graph(), k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_optimistic_invariants(seed):
+    graph, k = random_instance(seed)
+    if not is_greedy_k_colorable(graph, k):
+        return
+    result = optimistic_coalesce(graph, k)
+    check_ledger(graph, result)
+    assert is_greedy_k_colorable(result.coalesced_graph(), k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_irc_invariants(seed):
+    graph, k = random_instance(seed)
+    result = irc_coalescing_result(graph, k)
+    check_ledger(graph, result)
+    result.coalesced_graph()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_biased_invariants(seed):
+    graph, k = random_instance(seed)
+    if not is_greedy_k_colorable(graph, k):
+        return
+    result = biased_coloring_result(graph, k)
+    check_ledger(graph, result)
+    assert is_greedy_k_colorable(result.coalesced_graph(), k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_aggressive_dominates_all(seed):
+    """Aggressive coalescing is a lower bound on residual weight for
+    every colourability-respecting strategy."""
+    graph, k = random_instance(seed)
+    if not is_greedy_k_colorable(graph, k):
+        return
+    floor = aggressive_coalesce(graph).residual_weight
+    for test in ("briggs", "brute"):
+        r = conservative_coalesce(graph, k, test=test)
+        assert r.residual_weight >= floor - 1e-9
+    assert optimistic_coalesce(graph, k).residual_weight >= floor - 1e-9
