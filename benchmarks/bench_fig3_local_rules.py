@@ -13,7 +13,7 @@ Two reproductions:
 
 import pytest
 
-from conftest import emit
+from conftest import attach_tracer, emit
 from repro.coalescing.conservative import conservative_coalesce
 from repro.coalescing.exact import optimal_conservative_coalescing
 from repro.coalescing.optimistic import optimistic_coalesce
@@ -21,27 +21,36 @@ from repro.graphs.generators import (
     incremental_trap_gadget,
     padded_permutation_gadget,
 )
+from repro.obs import Tracer
 
 SIZES = [3, 4, 5, 6]
 
 
-def _permutation_row(n: int):
+def _permutation_row(n: int, tracer):
     k = 2 * (n - 1)
     g = padded_permutation_gadget(n)
     return {
         "n": n,
         "k": k,
-        "briggs": conservative_coalesce(g, k, test="briggs").num_coalesced,
-        "george": conservative_coalesce(g, k, test="george").num_coalesced,
-        "brute": conservative_coalesce(g, k, test="brute").num_coalesced,
-        "optimistic": optimistic_coalesce(g, k).num_coalesced,
+        "briggs": conservative_coalesce(
+            g, k, test="briggs", tracer=tracer
+        ).num_coalesced,
+        "george": conservative_coalesce(
+            g, k, test="george", tracer=tracer
+        ).num_coalesced,
+        "brute": conservative_coalesce(
+            g, k, test="brute", tracer=tracer
+        ).num_coalesced,
+        "optimistic": optimistic_coalesce(g, k, tracer=tracer).num_coalesced,
     }
 
 
 def test_figure3_permutation(benchmark):
-    rows = [_permutation_row(n) for n in SIZES]
+    tracer = Tracer()
+    rows = [_permutation_row(n, tracer) for n in SIZES]
     g = padded_permutation_gadget(6)
     benchmark(conservative_coalesce, g, 10, "brute")
+    attach_tracer(benchmark, tracer)
     emit(
         benchmark,
         "Figure 3: moves coalesced on the permutation gadget (out of n)",
@@ -60,11 +69,15 @@ def test_figure3_permutation(benchmark):
 
 
 def test_figure3_incremental_trap(benchmark):
+    tracer = Tracer()
     g = incremental_trap_gadget()
-    one_at_a_time = conservative_coalesce(g, 3, test="brute").num_coalesced
+    one_at_a_time = conservative_coalesce(
+        g, 3, test="brute", tracer=tracer
+    ).num_coalesced
     simultaneous = optimal_conservative_coalescing(g, 3).num_coalesced
-    optimistic = optimistic_coalesce(g, 3).num_coalesced
+    optimistic = optimistic_coalesce(g, 3, tracer=tracer).num_coalesced
     benchmark(optimistic_coalesce, g, 3)
+    attach_tracer(benchmark, tracer)
     emit(
         benchmark,
         "Figure 3 (right): the incremental trap (2 affinities)",

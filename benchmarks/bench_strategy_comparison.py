@@ -16,11 +16,12 @@ import random
 
 import pytest
 
-from conftest import emit
+from conftest import attach_tracer, emit
 from repro.challenge.generator import pressure_instance, program_instance
 from repro.coalescing.aggressive import aggressive_coalesce
 from repro.coalescing.conservative import conservative_coalesce
 from repro.coalescing.optimistic import optimistic_coalesce
+from repro.obs import NULL_TRACER, Tracer
 
 STRATEGIES = [
     "aggressive", "briggs", "george", "briggs_george", "brute",
@@ -28,31 +29,36 @@ STRATEGIES = [
 ]
 
 
-def _residual(graph, k, strategy):
+def _residual(graph, k, strategy, tracer=NULL_TRACER):
     if strategy == "aggressive":
-        return aggressive_coalesce(graph).residual_weight
+        return aggressive_coalesce(graph, tracer=tracer).residual_weight
     if strategy == "optimistic":
-        return optimistic_coalesce(graph, k).residual_weight
+        return optimistic_coalesce(graph, k, tracer=tracer).residual_weight
     if strategy.startswith("irc"):
         from repro.allocator.irc import irc_allocate
 
-        result = irc_allocate(graph, k, george_any=strategy.endswith("any"))
+        result = irc_allocate(
+            graph, k, george_any=strategy.endswith("any"), tracer=tracer
+        )
         return sum(
             w
             for u, v, w in graph.affinities()
             if result.colors.get(u) != result.colors.get(v)
         )
-    return conservative_coalesce(graph, k, test=strategy).residual_weight
+    return conservative_coalesce(
+        graph, k, test=strategy, tracer=tracer
+    ).residual_weight
 
 
 def _sweep(instances):
     totals = {s: 0.0 for s in STRATEGIES}
+    tracers = {s: Tracer() for s in STRATEGIES}
     weight = 0.0
     for inst in instances:
         weight += inst.graph.total_affinity_weight()
         for s in STRATEGIES:
-            totals[s] += _residual(inst.graph, inst.k, s)
-    return totals, weight
+            totals[s] += _residual(inst.graph, inst.k, s, tracer=tracers[s])
+    return totals, weight, tracers
 
 
 def test_strategy_comparison_pressure(benchmark):
@@ -60,9 +66,12 @@ def test_strategy_comparison_pressure(benchmark):
         pressure_instance(6, 10, margin=0, rng=random.Random(seed))
         for seed in range(8)
     ]
-    totals, weight = _sweep(instances)
+    totals, weight, tracers = _sweep(instances)
     inst = instances[0]
+    # the timed call runs with the default NULL_TRACER: its numbers are
+    # the null-overhead baseline for the observability layer
     benchmark(conservative_coalesce, inst.graph, inst.k, "brute")
+    attach_tracer(benchmark, tracers["brute"], label="tracer:brute")
     emit(
         benchmark,
         "E1a: residual move weight on Maxlive = k parallel-copy instances "
@@ -83,9 +92,10 @@ def test_strategy_comparison_pressure(benchmark):
 
 def test_strategy_comparison_programs(benchmark):
     instances = [program_instance(seed, 4) for seed in range(10)]
-    totals, weight = _sweep(instances)
+    totals, weight, tracers = _sweep(instances)
     inst = instances[0]
     benchmark(conservative_coalesce, inst.graph, inst.k, "brute")
+    attach_tracer(benchmark, tracers["optimistic"], label="tracer:optimistic")
     emit(
         benchmark,
         "E1b: residual move weight on SSA-derived program instances "

@@ -5,9 +5,41 @@ Every bench both *times* its central operation (pytest-benchmark) and
 reproduces — which it prints and attaches to ``benchmark.extra_info``
 so a plain ``pytest benchmarks/ --benchmark-only -s`` shows the full
 reproduction output used in EXPERIMENTS.md.
+
+Benches that run instrumented passes use :func:`attach_tracer` to put
+the :mod:`repro.obs` counters and span timings next to the table in
+``extra_info`` (see docs/OBSERVABILITY.md for the counter names).
 """
 
 from typing import Iterable, List, Sequence
+
+from repro.obs import Tracer, as_report, merged_report
+
+
+def attach_tracer(benchmark, source, label: str = "tracer") -> None:
+    """Record a tracer report on the benchmark and print its summary.
+
+    ``source`` is a :class:`repro.obs.Tracer`, a report dict, or a list
+    of either (merged with :func:`repro.obs.merged_report`).  The full
+    report lands in ``benchmark.extra_info[label]`` (JSON-serializable,
+    so it survives ``--benchmark-json``); counters and spans are printed
+    so ``-s`` runs show them inline.
+    """
+    if isinstance(source, (list, tuple)):
+        report = merged_report(source)
+    else:
+        report = as_report(source)
+    if benchmark is not None:
+        benchmark.extra_info[label] = report
+    lines = [f"--- {label} ---"]
+    for name, value in report["counters"].items():
+        lines.append(f"  {name:<36} {value:g}")
+    for span in report["spans"]:
+        lines.append(
+            f"  [span] {span['name']:<29} {span['calls']:>5}x "
+            f"{span['seconds']*1e3:9.3f} ms"
+        )
+    print("\n".join(lines))
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -1,10 +1,25 @@
 #!/usr/bin/env python3
-"""Regenerate docs/API.md from module and callable docstrings."""
+"""Regenerate docs/API.md from module and callable docstrings.
+
+Run as ``PYTHONPATH=src python docs/generate_api.py``.  The script is
+also the docs linter: it exits non-zero (with the problems on stderr)
+when
+
+* a public module under ``repro`` is missing from the curated MODULES
+  list below (or a listed module no longer exists),
+* a listed module has no module docstring, or
+* a public function/class in a listed module has no docstring.
+
+CI runs it and then checks ``git diff --exit-code docs/API.md``, so the
+committed reference can never drift from the code.
+"""
 
 import importlib
 import inspect
 import io
 import os
+import pkgutil
+import sys
 
 MODULES = [
     "repro.graphs.graph", "repro.graphs.interference", "repro.graphs.chordal",
@@ -22,6 +37,7 @@ MODULES = [
     "repro.coalescing.node_merging",
     "repro.allocator.spill", "repro.allocator.chaitin", "repro.allocator.irc",
     "repro.allocator.ssa_allocator", "repro.allocator.local",
+    "repro.obs.tracer", "repro.obs.export",
     "repro.reductions.sat", "repro.reductions.multiway_cut",
     "repro.reductions.vertex_cover", "repro.reductions.kcolor",
     "repro.reductions.aggressive_reduction",
@@ -34,7 +50,28 @@ MODULES = [
 ]
 
 
-def main() -> None:
+def discover_public_modules():
+    """All importable non-underscore leaf modules under ``repro``."""
+    root = importlib.import_module("repro")
+    found = set()
+    for info in pkgutil.walk_packages(root.__path__, prefix="repro."):
+        leaf = info.name.rsplit(".", 1)[-1]
+        if leaf.startswith("_") or info.ispkg:
+            continue
+        found.add(info.name)
+    return found
+
+
+def check_coverage(errors):
+    discovered = discover_public_modules()
+    listed = set(MODULES)
+    for name in sorted(discovered - listed):
+        errors.append(f"module {name} is missing from MODULES")
+    for name in sorted(listed - discovered):
+        errors.append(f"MODULES lists {name}, which does not exist")
+
+
+def render(errors):
     out = io.StringIO()
     out.write("# API reference\n\n")
     out.write(
@@ -42,11 +79,17 @@ def main() -> None:
         "docstrings (`python docs/generate_api.py` regenerates this file).\n"
     )
     for name in MODULES:
-        mod = importlib.import_module(name)
+        try:
+            mod = importlib.import_module(name)
+        except ImportError as exc:
+            errors.append(f"cannot import {name}: {exc}")
+            continue
         out.write(f"\n## `{name}`\n\n")
         doc = (mod.__doc__ or "").strip().splitlines()
         if doc:
             out.write(doc[0].strip() + "\n\n")
+        else:
+            errors.append(f"module {name} has no docstring")
         for attr in sorted(dir(mod)):
             if attr.startswith("_"):
                 continue
@@ -56,13 +99,29 @@ def main() -> None:
             if not (inspect.isfunction(obj) or inspect.isclass(obj)):
                 continue
             first = ((obj.__doc__ or "").strip().splitlines() or [""])[0].strip()
+            if not first:
+                errors.append(f"{name}.{attr} has no docstring")
             kind = "class" if inspect.isclass(obj) else "def"
             out.write(f"* **`{attr}`** ({kind}) — {first}\n")
+    return out.getvalue()
+
+
+def main() -> int:
+    errors = []
+    check_coverage(errors)
+    text = render(errors)
+    if errors:
+        for problem in errors:
+            print(f"error: {problem}", file=sys.stderr)
+        print(f"{len(errors)} problem(s); docs/API.md not written",
+              file=sys.stderr)
+        return 1
     target = os.path.join(os.path.dirname(__file__), "API.md")
     with open(target, "w") as stream:
-        stream.write(out.getvalue())
+        stream.write(text)
     print(f"wrote {target}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

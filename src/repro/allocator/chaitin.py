@@ -21,6 +21,7 @@ from ..ir.interference import chaitin_interference, set_frequencies_from_loops
 from ..ir.instructions import Var
 from ..coalescing.conservative import TESTS, brute_force_test
 from ..graphs.greedy import is_greedy_k_colorable
+from ..obs import NULL_TRACER, Tracer
 from .spill import is_memory_slot, is_spill_temp, spill_costs, spill_everywhere
 
 
@@ -77,6 +78,7 @@ def chaitin_allocate(
     coalesce_test: str = "briggs_george",
     max_iterations: int = 12,
     spill_metric: str = "cost_degree",
+    tracer: Tracer = NULL_TRACER,
 ) -> AllocationResult:
     """Run the full Chaitin–Briggs loop on ``func`` with ``k`` registers.
 
@@ -100,12 +102,15 @@ def chaitin_allocate(
     work_func = func
     total_spilled: List[Var] = []
     for iteration in range(1, max_iterations + 1):
-        graph = chaitin_interference(work_func, weighted=True)
-        _strip_slots(graph)
-        costs = spill_costs(work_func)
-        assignment, coalesced, actual_spills = _color_round(
-            graph, k, test_fn, costs, spill_metric
-        )
+        tracer.count("chaitin.iterations")
+        with tracer.span("chaitin/build"):
+            graph = chaitin_interference(work_func, weighted=True)
+            _strip_slots(graph)
+            costs = spill_costs(work_func)
+        with tracer.span("chaitin/color"):
+            assignment, coalesced, actual_spills = _color_round(
+                graph, k, test_fn, costs, spill_metric, tracer=tracer
+            )
         if not actual_spills:
             return AllocationResult(
                 function=work_func,
@@ -116,7 +121,11 @@ def chaitin_allocate(
                 iterations=iteration,
             )
         total_spilled.extend(actual_spills)
-        work_func = spill_everywhere(work_func, set(actual_spills))
+        tracer.count("chaitin.actual_spills", len(actual_spills))
+        with tracer.span("chaitin/spill-rewrite"):
+            work_func = spill_everywhere(
+                work_func, set(actual_spills), tracer=tracer
+            )
     raise RuntimeError("spilling did not converge")
 
 
@@ -126,6 +135,7 @@ def _color_round(
     test_fn,
     costs: Dict[Var, float],
     spill_metric: str = "cost_degree",
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[Dict[Var, int], int, List[Var]]:
     """One simplify/coalesce/freeze/spill/select round.
 
@@ -159,6 +169,7 @@ def _color_round(
         if candidate is not None:
             stack.append((candidate, False))
             work.remove_vertex(candidate)
+            tracer.count("chaitin.simplified")
             continue
         # 2. coalesce: a conservative move.  The brute-force test is an
         # absolute check ("is the merged graph greedy-k-colorable"), so
@@ -174,12 +185,15 @@ def _color_round(
         ):
             if frozenset((a, b)) in frozen or work.has_edge(a, b):
                 continue
+            tracer.count("moves.attempted")
             if round_test(work, a, b, k):
                 work.merge_in_place(a, b)
                 members[a] = members[a] | members.pop(b)
                 coalesced_moves += 1
                 merged = True
+                tracer.count("moves.coalesced")
                 break
+            tracer.count("moves.rejected")
         if merged:
             continue
         # 3. freeze: give up the cheapest move of a low-degree vertex
@@ -194,6 +208,7 @@ def _color_round(
         )
         if freeze_candidate is not None:
             frozen.add(frozenset(freeze_candidate))
+            tracer.count("chaitin.frozen_moves")
             continue
         # 4. potential spill: cheapest cost / degree ratio; reload
         # temporaries last (re-spilling them cannot reduce pressure)
@@ -211,6 +226,7 @@ def _color_round(
         spill_v = min(work.vertices, key=spill_key)
         stack.append((spill_v, True))
         work.remove_vertex(spill_v)
+        tracer.count("chaitin.potential_spills")
 
     # select: colour merged classes in reverse removal order; a class's
     # forbidden colours come from any member adjacent to any coloured

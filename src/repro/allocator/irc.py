@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..graphs.graph import Vertex
 from ..graphs.interference import InterferenceGraph
+from ..obs import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -50,9 +51,11 @@ class _IRC:
         precolored: Dict[Vertex, int],
         costs: Dict[Vertex, float],
         george_any: bool,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.k = k
         self.george_any = george_any
+        self.tracer = tracer
         self.costs = costs
         self.precolored: Set[Vertex] = set(precolored)
         self.color: Dict[Vertex, int] = dict(precolored)
@@ -150,6 +153,7 @@ class _IRC:
         self.simplify_worklist.discard(v)
         self.select_stack.append(v)
         self.on_stack.add(v)
+        self.tracer.count("irc.simplified")
         for u in self._adjacent(v):
             self._decrement_degree(u)
 
@@ -195,12 +199,16 @@ class _IRC:
         if u == v:
             self.coalesced_moves.add(move)
             self._add_worklist(u)
+            self.tracer.count("moves.transitive")
             return
+        self.tracer.count("queries.interference")
         if v in self.precolored or v in self.adj[u]:
             self.constrained_moves.add(move)
             self._add_worklist(u)
             self._add_worklist(v)
+            self.tracer.count("moves.constrained")
             return
+        self.tracer.count("moves.attempted")
         george_applicable = u in self.precolored or self.george_any
         george_ok = george_applicable and all(
             self._ok(t, u) for t in self._adjacent(v)
@@ -212,8 +220,14 @@ class _IRC:
             self.coalesced_moves.add(move)
             self._combine(u, v)
             self._add_worklist(u)
+            self.tracer.count("moves.coalesced")
+            self.tracer.count(
+                "irc.coalesced_by_george" if george_ok else "irc.coalesced_by_briggs"
+            )
         else:
+            # deferred, not refused for good: the move may re-enable
             self.active_moves.add(move)
+            self.tracer.count("moves.rejected")
 
     def _combine(self, u: Vertex, v: Vertex) -> None:
         self.freeze_worklist.discard(v)
@@ -238,6 +252,7 @@ class _IRC:
         v = min(self.freeze_worklist, key=str)
         self.freeze_worklist.discard(v)
         self.simplify_worklist.add(v)
+        self.tracer.count("irc.freezes")
         self._freeze_moves(v)
 
     def _freeze_moves(self, v: Vertex) -> None:
@@ -267,6 +282,7 @@ class _IRC:
         )
         self.spill_worklist.discard(v)
         self.simplify_worklist.add(v)
+        self.tracer.count("irc.spill_candidates")
         self._freeze_moves(v)
 
     # ------------------------------------------------------------------
@@ -293,21 +309,24 @@ class _IRC:
 
     # ------------------------------------------------------------------
     def run(self) -> IRCResult:
-        while (
-            self.simplify_worklist
-            or self.worklist_moves
-            or self.freeze_worklist
-            or self.spill_worklist
-        ):
-            if self.simplify_worklist:
-                self.simplify()
-            elif self.worklist_moves:
-                self.coalesce()
-            elif self.freeze_worklist:
-                self.freeze()
-            else:
-                self.select_spill()
-        self.assign_colors()
+        with self.tracer.span("irc/worklists"):
+            while (
+                self.simplify_worklist
+                or self.worklist_moves
+                or self.freeze_worklist
+                or self.spill_worklist
+            ):
+                if self.simplify_worklist:
+                    self.simplify()
+                elif self.worklist_moves:
+                    self.coalesce()
+                elif self.freeze_worklist:
+                    self.freeze()
+                else:
+                    self.select_spill()
+        with self.tracer.span("irc/select"):
+            self.assign_colors()
+        self.tracer.count("irc.actual_spills", len(self.spilled_nodes))
         return IRCResult(
             colors=dict(self.color),
             spilled=list(self.spilled_nodes),
@@ -323,6 +342,7 @@ def irc_allocate(
     precolored: Optional[Dict[Vertex, int]] = None,
     costs: Optional[Dict[Vertex, float]] = None,
     george_any: bool = False,
+    tracer: Tracer = NULL_TRACER,
 ) -> IRCResult:
     """One round of iterated register coalescing on an interference
     graph.
@@ -341,7 +361,9 @@ def irc_allocate(
             raise ValueError(f"precoloured register {c} out of range")
         if v not in graph:
             raise ValueError(f"precoloured vertex {v!r} not in graph")
-    return _IRC(graph, k, precolored, dict(costs or {}), george_any).run()
+    return _IRC(
+        graph, k, precolored, dict(costs or {}), george_any, tracer=tracer
+    ).run()
 
 
 def irc_coalescing_result(
@@ -349,6 +371,7 @@ def irc_coalescing_result(
     k: int,
     precolored: Optional[Dict[Vertex, int]] = None,
     george_any: bool = False,
+    tracer: Tracer = NULL_TRACER,
 ):
     """Run IRC and express its coalescing decisions as a
     :class:`~repro.coalescing.base.CoalescingResult` (so IRC slots into
@@ -357,7 +380,7 @@ def irc_coalescing_result(
     from ..graphs.interference import Coalescing
 
     result = irc_allocate(
-        graph, k, precolored=precolored, george_any=george_any
+        graph, k, precolored=precolored, george_any=george_any, tracer=tracer
     )
     coalescing = Coalescing(graph)
     for v, rep in result.alias.items():

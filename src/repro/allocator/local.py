@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ir.cfg import BasicBlock, Function
 from ..ir.instructions import Instr, Var
+from ..obs import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -61,6 +62,7 @@ def belady_local_allocate(
     block: BasicBlock,
     k: int,
     live_out: Optional[Set[Var]] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> LocalAllocation:
     """Belady-style local allocation of one basic block.
 
@@ -96,11 +98,13 @@ def belady_local_allocate(
             never = nu is None and v not in live_out
             return (not never, -(nu if nu is not None else 10 ** 9))
         victim = min(candidates, key=key)
+        tracer.count("local.evictions")
         if (victim in dirty or victim in live_out) and victim not in stored:
             nu = next_use[at + 1].get(victim)
             if nu is not None or victim in live_out:
                 result.stores += 1
                 stored.add(victim)
+                tracer.count("local.stores")
         free.append(registers.pop(victim))
 
     def ensure(v: Var, protect: Set[Var], at: int, is_def: bool) -> None:
@@ -111,6 +115,7 @@ def belady_local_allocate(
         registers[v] = free.pop()
         if not is_def:
             result.loads += 1  # reload (or first load of a livein)
+            tracer.count("local.loads")
         if is_def:
             dirty.add(v)
             stored.discard(v)

@@ -21,6 +21,7 @@ from ..ir.cfg import Function
 from ..ir.dominance import loop_depths
 from ..ir.instructions import Instr, Phi, Var
 from ..ir.ssa import _copy_function
+from ..obs import NULL_TRACER, Tracer
 
 _TERMINATORS = frozenset({"br", "cbr", "jmp", "ret", "switch"})
 
@@ -53,7 +54,9 @@ def spill_costs(func: Function) -> Dict[Var, float]:
     return costs
 
 
-def spill_everywhere(func: Function, variables: Set[Var]) -> Function:
+def spill_everywhere(
+    func: Function, variables: Set[Var], tracer: Tracer = NULL_TRACER
+) -> Function:
     """Rewrite ``func`` with the given variables spilled everywhere.
 
     Every definition of a spilled variable stores to its slot; every use
@@ -90,6 +93,7 @@ def spill_everywhere(func: Function, variables: Set[Var]) -> Function:
                 ):
                     variables.add(phi.target)
                     changed = True
+    tracer.count("spill.variables", len(variables))
     counter = [0]
 
     def fresh(v: Var) -> Var:
@@ -120,6 +124,7 @@ def spill_everywhere(func: Function, variables: Set[Var]) -> Function:
                         edge_code[pred].append(
                             Instr("store", (slot_of(phi.target),), (arg,))
                         )
+                        tracer.count("spill.stores")
                     # a spilled argument already stores to the shared
                     # slot at its definition
             else:
@@ -129,6 +134,7 @@ def spill_everywhere(func: Function, variables: Set[Var]) -> Function:
                         edge_code[pred].append(
                             Instr("load", (tmp,), (slot_of(arg),))
                         )
+                        tracer.count("spill.loads")
                         phi.args[pred] = tmp
                 surviving.append(phi)
         block.phis = surviving
@@ -141,6 +147,7 @@ def spill_everywhere(func: Function, variables: Set[Var]) -> Function:
                 if v in variables:
                     tmp = fresh(v)
                     new_instrs.append(Instr("load", (tmp,), (slot_of(v),)))
+                    tracer.count("spill.loads")
                     uses[i] = tmp
             defs = list(instr.defs)
             stores: List[Instr] = []
@@ -148,6 +155,7 @@ def spill_everywhere(func: Function, variables: Set[Var]) -> Function:
                 if v in variables:
                     tmp = fresh(v)
                     stores.append(Instr("store", (slot_of(v),), (tmp,)))
+                    tracer.count("spill.stores")
                     defs[i] = tmp
             # a rewritten mov keeps its 1-def/1-use shape, so it stays a
             # coalescable copy between the fresh names

@@ -29,6 +29,7 @@ from ..ir.interference import chaitin_interference, set_frequencies_from_loops
 from ..ir.instructions import Var
 from ..ir.liveness import compute_liveness, maxlive
 from ..ir.ssa import construct_ssa
+from ..obs import NULL_TRACER, Tracer
 from .chaitin import AllocationResult
 from .spill import is_memory_slot, is_spill_temp, spill_costs, spill_everywhere
 
@@ -64,7 +65,12 @@ def _pressure_maxlive(func: Function) -> int:
     return best
 
 
-def spill_to_pressure(func: Function, k: int, max_rounds: int = 64) -> Tuple[Function, List[Var], int]:
+def spill_to_pressure(
+    func: Function,
+    k: int,
+    max_rounds: int = 64,
+    tracer: Tracer = NULL_TRACER,
+) -> Tuple[Function, List[Var], int]:
     """Phase 1: spill everywhere until Maxlive ≤ k.
 
     Candidate order: highest spill benefit first — cost-to-degree is
@@ -124,7 +130,9 @@ def spill_to_pressure(func: Function, k: int, max_rounds: int = 64) -> Tuple[Fun
             )
         victim = min(spillable, key=lambda v: (costs.get(v, 0.0), str(v)))
         spilled.append(victim)
-        work = spill_everywhere(work, {victim})
+        tracer.count("spill.rounds")
+        tracer.event("spill.victim", var=str(victim), round=rounds)
+        work = spill_everywhere(work, {victim}, tracer=tracer)
     return work, spilled, rounds
 
 
@@ -133,30 +141,39 @@ def ssa_allocate(
     func: Function,
     k: int,
     coalescing: str = "brute",
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[AllocationResult, SSAAllocationStats]:
     """Run the full two-phase allocator.
 
     ``coalescing`` is one of the conservative test names
     ("briggs", "george", "briggs_george", "brute") or "optimistic" or
-    "none".
+    "none".  ``tracer`` records per-phase wall time (construct / spill /
+    build / coalesce / colour) and the phase counters.
     """
     if k <= 0:
         raise ValueError("need at least one register")
     if not func.frequency:
         set_frequencies_from_loops(func)
-    ssa = construct_ssa(func)
+    with tracer.span("ssa/construct"):
+        ssa = construct_ssa(func)
     stats = SSAAllocationStats(maxlive_before=_pressure_maxlive(ssa))
+    tracer.count("ssa.maxlive_before", stats.maxlive_before)
 
     # phase 1: spill
-    lowered, spilled, rounds = spill_to_pressure(ssa, k)
+    with tracer.span("ssa/spill"):
+        lowered, spilled, rounds = spill_to_pressure(ssa, k, tracer=tracer)
     stats.spill_rounds = rounds
     stats.maxlive_after = _pressure_maxlive(lowered)
+    tracer.count("ssa.spill_rounds", rounds)
+    tracer.count("ssa.spilled", len(spilled))
+    tracer.count("ssa.maxlive_after", stats.maxlive_after)
 
     # phase 2: colour + coalesce
-    graph = chaitin_interference(lowered, weighted=True)
-    for v in [v for v in graph.vertices if is_memory_slot(v)]:
-        graph.remove_vertex(v)
-    stats.chordal = is_chordal(graph.structural_graph())
+    with tracer.span("ssa/build"):
+        graph = chaitin_interference(lowered, weighted=True)
+        for v in [v for v in graph.vertices if is_memory_slot(v)]:
+            graph.remove_vertex(v)
+        stats.chordal = is_chordal(graph.structural_graph())
 
     if coalescing == "none":
         quotient = graph
@@ -166,7 +183,8 @@ def ssa_allocate(
         # no merging at all: steer the colour selection instead
         from ..coalescing.biased import biased_greedy_coloring
 
-        coloring = biased_greedy_coloring(graph, k)
+        with tracer.span("ssa/coalesce"):
+            coloring = biased_greedy_coloring(graph, k, tracer=tracer)
         if coloring is None:
             raise AssertionError(
                 "phase-2 graph not greedy-k-colorable despite Maxlive ≤ k"
@@ -184,22 +202,26 @@ def ssa_allocate(
         )
         return result, stats
     else:
-        if coalescing == "optimistic":
-            result = optimistic_coalesce(graph, k)
-        elif coalescing == "chordal":
-            from ..coalescing.chordal_strategy import (
-                chordal_incremental_coalesce,
-            )
+        with tracer.span("ssa/coalesce"):
+            if coalescing == "optimistic":
+                result = optimistic_coalesce(graph, k, tracer=tracer)
+            elif coalescing == "chordal":
+                from ..coalescing.chordal_strategy import (
+                    chordal_incremental_coalesce,
+                )
 
-            result = chordal_incremental_coalesce(graph, k)
-        else:
-            result = conservative_coalesce(graph, k, test=coalescing)
+                result = chordal_incremental_coalesce(graph, k, tracer=tracer)
+            else:
+                result = conservative_coalesce(
+                    graph, k, test=coalescing, tracer=tracer
+                )
         stats.coalescing = result
         quotient = result.coalescing.coalesced_graph()
         mapping = result.coalescing.as_mapping()
         coalesced_moves = result.num_coalesced
 
-    coloring = greedy_k_coloring(quotient, k)
+    with tracer.span("ssa/color"):
+        coloring = greedy_k_coloring(quotient, k)
     if coloring is None:
         raise AssertionError(
             "phase-2 graph not greedy-k-colorable despite Maxlive ≤ k"

@@ -88,6 +88,7 @@ def dump_solution(solution: Solution, stream: TextIO) -> None:
 
 
 def dumps_solution(solution: Solution) -> str:
+    """:func:`dump_solution` to a string."""
     buf = io.StringIO()
     dump_solution(solution, buf)
     return buf.getvalue()
@@ -115,6 +116,7 @@ def load_solutions(stream: TextIO) -> List[Solution]:
 
 
 def loads_solutions(text: str) -> List[Solution]:
+    """:func:`load_solutions` from a string."""
     return load_solutions(io.StringIO(text))
 
 

@@ -18,6 +18,12 @@ Commands
 ``generate [--kind pressure|program] [--count N] [--k K] [-o FILE]``
     Emit challenge-style instances.
 
+``report FILE [--strategy S] [--k K] [--json | --csv] [-o FILE]``
+    Run a strategy with a :mod:`repro.obs` tracer attached and emit the
+    per-instance counters, span timings, and result statistics (plain
+    text, JSON, or CSV).  ``coalesce`` and ``allocate`` accept
+    ``--trace`` for the same data inline.
+
 ``dot FILE [--instance NAME]``
     Render an instance as Graphviz DOT on stdout.
 """
@@ -25,8 +31,10 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
+import time
 from typing import List, Optional
 
 from .challenge.format import dump_instance, load_instances
@@ -38,26 +46,39 @@ from .coalescing.chordal_strategy import chordal_incremental_coalesce
 from .graphs.chordal import is_chordal
 from .graphs.greedy import coloring_number, is_greedy_k_colorable
 from .graphs.io import read_dimacs, to_dot
+from .obs import NULL_TRACER, Tracer, merged_report
 
 STRATEGIES = sorted(TESTS) + [
     "aggressive", "optimistic", "biased", "chordal", "irc",
 ]
 
 
-def _run_strategy(graph, k: int, strategy: str):
+def _run_strategy(graph, k: int, strategy: str, tracer: Tracer = NULL_TRACER):
     if strategy == "aggressive":
-        return aggressive_coalesce(graph)
+        return aggressive_coalesce(graph, tracer=tracer)
     if strategy == "optimistic":
-        return optimistic_coalesce(graph, k)
+        return optimistic_coalesce(graph, k, tracer=tracer)
     if strategy == "biased":
-        return biased_coloring_result(graph, k)
+        return biased_coloring_result(graph, k, tracer=tracer)
     if strategy == "chordal":
-        return chordal_incremental_coalesce(graph, k)
+        return chordal_incremental_coalesce(graph, k, tracer=tracer)
     if strategy == "irc":
         from .allocator.irc import irc_coalescing_result
 
-        return irc_coalescing_result(graph, k)
-    return conservative_coalesce(graph, k, test=strategy)
+        return irc_coalescing_result(graph, k, tracer=tracer)
+    return conservative_coalesce(graph, k, test=strategy, tracer=tracer)
+
+
+def _print_trace(report: dict, out=None) -> None:
+    """Render a tracer report as an indented text block."""
+    out = out or sys.stdout
+    for name, value in report["counters"].items():
+        out.write(f"    {name:<36} {value:g}\n")
+    for span in report["spans"]:
+        out.write(
+            f"    [span] {span['name']:<29} {span['calls']:>5}x "
+            f"{span['seconds']*1e3:9.3f} ms\n"
+        )
 
 
 def _load(path: str, dimacs: bool):
@@ -72,6 +93,7 @@ def _load(path: str, dimacs: bool):
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    """Describe the instances in a challenge (or DIMACS) file."""
     instances = _load(args.file, args.dimacs)
     print(f"{'instance':<16} {'|V|':>5} {'|E|':>6} {'|A|':>5} "
           f"{'k':>3} {'chordal':>8} {'col':>4}")
@@ -87,8 +109,10 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_coalesce(args: argparse.Namespace) -> int:
+    """Run a coalescing strategy on every instance of a file."""
     instances = _load(args.file, args.dimacs)
     status = 0
+    trace = getattr(args, "trace", False)
     print(f"{'instance':<16} {'k':>3} {'strategy':<14} "
           f"{'coalesced':>9} {'residual':>9}")
     for inst in instances:
@@ -97,8 +121,9 @@ def cmd_coalesce(args: argparse.Namespace) -> int:
             print(f"{inst.name:<16}  -- no k given (use --k)", file=sys.stderr)
             status = 2
             continue
+        tracer = Tracer() if trace else NULL_TRACER
         try:
-            result = _run_strategy(inst.graph, k, args.strategy)
+            result = _run_strategy(inst.graph, k, args.strategy, tracer=tracer)
         except ValueError as exc:
             print(f"{inst.name:<16}  -- {exc}", file=sys.stderr)
             status = 2
@@ -107,26 +132,101 @@ def cmd_coalesce(args: argparse.Namespace) -> int:
             f"{inst.name:<16} {k:>3} {args.strategy:<14} "
             f"{result.num_coalesced:>9} {result.residual_weight:>9g}"
         )
+        if trace:
+            _print_trace(tracer.report())
+    return status
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a strategy under a tracer and emit a structured report."""
+    instances = _load(args.file, args.dimacs)
+    records = []
+    reports = []
+    status = 0
+    for inst in instances:
+        k = args.k or inst.k
+        if k <= 0:
+            print(f"{inst.name}: no k given (use --k)", file=sys.stderr)
+            status = 2
+            continue
+        tracer = Tracer()
+        tracer.meta.update(instance=inst.name, k=k, strategy=args.strategy)
+        t0 = time.perf_counter()
+        try:
+            result = _run_strategy(inst.graph, k, args.strategy, tracer=tracer)
+        except ValueError as exc:
+            print(f"{inst.name}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        elapsed = time.perf_counter() - t0
+        records.append({
+            "instance": inst.name,
+            "k": k,
+            "vertices": len(inst.graph),
+            "edges": inst.graph.num_edges(),
+            "affinities": inst.graph.num_affinities(),
+            "coalesced": result.num_coalesced,
+            "residual_weight": result.residual_weight,
+            "seconds": elapsed,
+            **tracer.report(),
+        })
+        reports.append(tracer)
+    payload = {
+        "file": args.file,
+        "strategy": args.strategy,
+        "instances": records,
+        "total": merged_report(reports),
+    }
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.json:
+            json.dump(payload, out, indent=2)
+            out.write("\n")
+        elif args.csv:
+            from .obs import to_csv
+
+            out.write(to_csv(payload["total"]))
+        else:
+            for rec in records:
+                out.write(
+                    f"{rec['instance']}: k={rec['k']} "
+                    f"coalesced={rec['coalesced']} "
+                    f"residual={rec['residual_weight']:g} "
+                    f"({rec['seconds']*1e3:.2f} ms)\n"
+                )
+                _print_trace(rec, out)
+            if len(records) > 1:
+                out.write("TOTAL over all instances:\n")
+                _print_trace(payload["total"], out)
+    finally:
+        if args.output:
+            out.close()
     return status
 
 
 def cmd_allocate(args: argparse.Namespace) -> int:
+    """Register-allocate the IR functions in a file."""
     from .allocator import chaitin_allocate, ssa_allocate
     from .ir.parser import parse_functions
 
     with open(args.file) as stream:
         functions = parse_functions(stream)
     status = 0
+    trace = getattr(args, "trace", False)
     for func in functions:
+        tracer = Tracer() if trace else NULL_TRACER
         try:
             if args.allocator == "chaitin":
                 result = chaitin_allocate(
                     func, args.k, coalesce_test=args.coalescing
                     if args.coalescing in TESTS else "briggs_george",
+                    tracer=tracer,
                 )
                 extra = ""
             else:
-                result, stats = ssa_allocate(func, args.k, coalescing=args.coalescing)
+                result, stats = ssa_allocate(
+                    func, args.k, coalescing=args.coalescing, tracer=tracer
+                )
                 extra = f", phase-2 chordal={stats.chordal}"
         except (ValueError, RuntimeError) as exc:
             print(f"{func.name}: failed ({exc})", file=sys.stderr)
@@ -139,12 +239,15 @@ def cmd_allocate(args: argparse.Namespace) -> int:
             f"coalesced={result.coalesced_moves} "
             f"residual_moves={result.residual_moves} {verdict}{extra}"
         )
+        if trace:
+            _print_trace(tracer.report())
         if problems:
             status = 1
     return status
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    """Emit challenge-style instances."""
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         for i in range(args.count):
@@ -164,6 +267,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    """Emit solutions for the instances of a challenge file."""
     from .challenge.scoring import dump_solution, solution_from_result
 
     instances = _load(args.file, False)
@@ -186,6 +290,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 
 def cmd_score(args: argparse.Namespace) -> int:
+    """Score a solution file against its instances."""
     from .challenge.scoring import load_solutions, scoreboard
 
     instances = _load(args.instances, False)
@@ -207,6 +312,7 @@ def cmd_score(args: argparse.Namespace) -> int:
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
+    """Render one instance as Graphviz DOT on stdout."""
     instances = _load(args.file, args.dimacs)
     for inst in instances:
         if args.instance and inst.name != args.instance:
@@ -218,6 +324,7 @@ def cmd_dot(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The :mod:`argparse` command-line parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Register-coalescing library CLI "
@@ -235,6 +342,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", choices=STRATEGIES, default="brute")
     p.add_argument("--k", type=int, default=0, help="override register count")
     p.add_argument("--dimacs", action="store_true")
+    p.add_argument("--trace", action="store_true",
+                   help="print tracer counters and span timings per instance")
     p.set_defaults(func=cmd_coalesce)
 
     p = sub.add_parser("allocate", help="register-allocate IR functions")
@@ -242,7 +351,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, required=True)
     p.add_argument("--allocator", choices=["chaitin", "ssa"], default="ssa")
     p.add_argument("--coalescing", default="brute")
+    p.add_argument("--trace", action="store_true",
+                   help="print tracer counters and span timings per function")
     p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser(
+        "report", help="run a strategy under a tracer, emit statistics"
+    )
+    p.add_argument("file")
+    p.add_argument("--strategy", choices=STRATEGIES, default="brute")
+    p.add_argument("--k", type=int, default=0, help="override register count")
+    p.add_argument("--dimacs", action="store_true")
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the full JSON report")
+    fmt.add_argument("--csv", action="store_true",
+                     help="emit aggregated counters/spans as CSV")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("generate", help="emit challenge instances")
     p.add_argument("--kind", choices=["pressure", "program"], default="pressure")
@@ -275,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

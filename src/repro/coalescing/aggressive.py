@@ -19,22 +19,33 @@ from typing import List, Optional, Tuple
 
 from ..graphs.graph import Vertex
 from ..graphs.interference import Coalescing, InterferenceGraph
+from ..obs import NULL_TRACER, Tracer
 from .base import CoalescingResult, affinities_by_weight
 
 
-def aggressive_coalesce(graph: InterferenceGraph) -> CoalescingResult:
+def aggressive_coalesce(
+    graph: InterferenceGraph, tracer: Tracer = NULL_TRACER
+) -> CoalescingResult:
     """Greedy aggressive coalescing, heaviest affinities first."""
     coalescing = Coalescing(graph)
     coalesced: List[Tuple[Vertex, Vertex, float]] = []
     given_up: List[Tuple[Vertex, Vertex, float]] = []
-    for u, v, w in affinities_by_weight(graph):
-        if coalescing.same_class(u, v):
-            coalesced.append((u, v, w))
-        elif coalescing.can_union(u, v):
-            coalescing.union(u, v)
-            coalesced.append((u, v, w))
-        else:
-            given_up.append((u, v, w))
+    tracer.count("affinities.total", graph.num_affinities())
+    with tracer.span("aggressive"):
+        for u, v, w in affinities_by_weight(graph):
+            if coalescing.same_class(u, v):
+                coalesced.append((u, v, w))
+                tracer.count("moves.transitive")
+                continue
+            tracer.count("moves.attempted")
+            tracer.count("queries.interference")
+            if coalescing.can_union(u, v):
+                coalescing.union(u, v)
+                coalesced.append((u, v, w))
+                tracer.count("moves.coalesced")
+            else:
+                given_up.append((u, v, w))
+                tracer.count("moves.constrained")
     return CoalescingResult(
         graph=graph,
         coalescing=coalescing,

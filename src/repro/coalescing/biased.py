@@ -18,11 +18,12 @@ from typing import Dict, List, Optional, Tuple
 from ..graphs.graph import Vertex
 from ..graphs.greedy import greedy_elimination_order
 from ..graphs.interference import Coalescing, InterferenceGraph
+from ..obs import NULL_TRACER, Tracer
 from .base import CoalescingResult
 
 
 def biased_greedy_coloring(
-    graph: InterferenceGraph, k: int
+    graph: InterferenceGraph, k: int, tracer: Tracer = NULL_TRACER
 ) -> Optional[Dict[Vertex, int]]:
     """A greedy k-colouring of an interference graph with
     affinity-biased colour selection, or None when the graph is not
@@ -33,37 +34,40 @@ def biased_greedy_coloring(
     already-coloured partners, falling back to the smallest allowed
     colour.
     """
-    order, success = greedy_elimination_order(graph, k)
-    if not success:
-        return None
-    partner_weights: Dict[Vertex, List[Tuple[Vertex, float]]] = {
-        v: [] for v in graph.vertices
-    }
-    for u, v, w in graph.affinities():
-        partner_weights[u].append((v, w))
-        partner_weights[v].append((u, w))
-    coloring: Dict[Vertex, int] = {}
-    for v in reversed(order):
-        forbidden = {
-            coloring[u] for u in graph.neighbors_view(v) if u in coloring
+    with tracer.span("biased-coloring"):
+        order, success = greedy_elimination_order(graph, k)
+        if not success:
+            return None
+        partner_weights: Dict[Vertex, List[Tuple[Vertex, float]]] = {
+            v: [] for v in graph.vertices
         }
-        preference: Dict[int, float] = {}
-        for partner, w in partner_weights[v]:
-            c = coloring.get(partner)
-            if c is not None and c not in forbidden:
-                preference[c] = preference.get(c, 0.0) + w
-        if preference:
-            coloring[v] = max(sorted(preference), key=preference.__getitem__)
-            continue
-        c = 0
-        while c in forbidden:
-            c += 1
-        coloring[v] = c
+        for u, v, w in graph.affinities():
+            partner_weights[u].append((v, w))
+            partner_weights[v].append((u, w))
+        coloring: Dict[Vertex, int] = {}
+        for v in reversed(order):
+            forbidden = {
+                coloring[u] for u in graph.neighbors_view(v) if u in coloring
+            }
+            preference: Dict[int, float] = {}
+            for partner, w in partner_weights[v]:
+                c = coloring.get(partner)
+                if c is not None and c not in forbidden:
+                    preference[c] = preference.get(c, 0.0) + w
+            if preference:
+                coloring[v] = max(sorted(preference), key=preference.__getitem__)
+                tracer.count("biased.preferred")
+                continue
+            c = 0
+            while c in forbidden:
+                c += 1
+            coloring[v] = c
+            tracer.count("biased.fallback")
     return coloring
 
 
 def biased_coloring_result(
-    graph: InterferenceGraph, k: int
+    graph: InterferenceGraph, k: int, tracer: Tracer = NULL_TRACER
 ) -> CoalescingResult:
     """Express a biased colouring as a :class:`CoalescingResult`.
 
@@ -72,17 +76,22 @@ def biased_coloring_result(
     affinity-connected vertices, which is a valid coalescing since they
     never interfere.)
     """
-    coloring = biased_greedy_coloring(graph, k)
+    coloring = biased_greedy_coloring(graph, k, tracer=tracer)
     if coloring is None:
         raise ValueError("input graph is not greedy-k-colorable")
     coalescing = Coalescing(graph)
+    tracer.count("affinities.total", graph.num_affinities())
     for u, v, _ in graph.affinities():
+        tracer.count("moves.attempted")
         if (
             coloring[u] == coloring[v]
             and not graph.has_edge(u, v)
             and coalescing.can_union(u, v)
         ):
             coalescing.union(u, v)
+            tracer.count("moves.coalesced")
+        else:
+            tracer.count("moves.rejected")
     coalesced = [
         (u, v, w) for u, v, w in graph.affinities()
         if coalescing.same_class(u, v)

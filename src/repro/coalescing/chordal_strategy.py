@@ -33,12 +33,13 @@ from typing import Dict, List, Tuple
 from ..graphs.chordal import clique_number_chordal, is_chordal
 from ..graphs.graph import Vertex
 from ..graphs.interference import Coalescing, InterferenceGraph
+from ..obs import NULL_TRACER, Tracer
 from .base import CoalescingResult, affinities_by_weight
 from .incremental import chordal_incremental_coalescible
 
 
 def chordal_incremental_coalesce(
-    graph: InterferenceGraph, k: int
+    graph: InterferenceGraph, k: int, tracer: Tracer = NULL_TRACER
 ) -> CoalescingResult:
     """Run the chordal incremental strategy on a chordal k-colorable
     interference graph.
@@ -60,27 +61,37 @@ def chordal_incremental_coalesce(
     owner: Dict[Vertex, Vertex] = {v: v for v in graph.vertices}
     rep_name: Dict[Vertex, Vertex] = {v: v for v in graph.vertices}
 
-    for u, v, w in affinities_by_weight(graph):
-        wu = rep_name[coalescing.find(u)]
-        wv = rep_name[coalescing.find(v)]
-        if wu == wv:
-            continue
-        if work.has_edge(wu, wv):
-            continue
-        witness = chordal_incremental_coalescible(work, wu, wv, k)
-        if not witness.mergeable:
-            continue
-        # merge x, y and the witness chain so the graph stays chordal
-        # with unchanged clique number (the proof's construction)
-        group = [wu, *witness.chain, wv]
-        merged = group[0]
-        for member in group[1:]:
-            coalescing.union(owner[group[0]], owner[member])
-            merged = work.merge_in_place(merged, member)
-            owner.pop(member, None)
-        rep = coalescing.find(u)
-        rep_name[rep] = merged
-        owner[merged] = owner[group[0]] if group[0] in owner else u
+    tracer.count("affinities.total", graph.num_affinities())
+    with tracer.span("chordal-incremental"):
+        for u, v, w in affinities_by_weight(graph):
+            wu = rep_name[coalescing.find(u)]
+            wv = rep_name[coalescing.find(v)]
+            if wu == wv:
+                continue
+            tracer.count("queries.interference")
+            if work.has_edge(wu, wv):
+                tracer.count("moves.constrained")
+                continue
+            tracer.count("moves.attempted")
+            witness = chordal_incremental_coalescible(
+                work, wu, wv, k, tracer=tracer
+            )
+            if not witness.mergeable:
+                tracer.count("moves.rejected")
+                continue
+            tracer.count("moves.coalesced")
+            tracer.count("chordal.chain_merges", len(witness.chain))
+            # merge x, y and the witness chain so the graph stays chordal
+            # with unchanged clique number (the proof's construction)
+            group = [wu, *witness.chain, wv]
+            merged = group[0]
+            for member in group[1:]:
+                coalescing.union(owner[group[0]], owner[member])
+                merged = work.merge_in_place(merged, member)
+                owner.pop(member, None)
+            rep = coalescing.find(u)
+            rep_name[rep] = merged
+            owner[merged] = owner[group[0]] if group[0] in owner else u
 
     # final ledger from the partition itself: witness-chain merges can
     # union the endpoints of affinities decided earlier

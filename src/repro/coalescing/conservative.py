@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Set, Tuple
 from ..graphs.graph import Vertex
 from ..graphs.interference import Coalescing, InterferenceGraph
 from ..graphs.greedy import is_greedy_k_colorable
+from ..obs import NULL_TRACER, Tracer
 from .base import CoalescingResult, affinities_by_weight
 
 
@@ -144,6 +145,7 @@ def conservative_coalesce(
     k: int,
     test: str = "briggs_george",
     check_input: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> CoalescingResult:
     """Iterated conservative coalescing with the chosen test.
 
@@ -155,6 +157,9 @@ def conservative_coalesce(
     If ``check_input`` and the input graph is not greedy-k-colorable,
     raises ``ValueError`` — conservative coalescing is only meaningful
     on a colourable graph (the paper's setting: after spilling).
+
+    ``tracer`` records rounds, merge attempts/accepts/rejections, and
+    interference queries (see docs/OBSERVABILITY.md).
     """
     try:
         test_fn = TESTS[test]
@@ -168,19 +173,30 @@ def conservative_coalesce(
     # map each union-find representative to its vertex name in `work`
     # (stale entries for superseded representatives are harmless)
     rep_name = {v: v for v in graph.vertices}
-    progress = True
-    while progress:
-        progress = False
-        for u, v, w in affinities_by_weight(graph):
-            wu = rep_name[coalescing.find(u)]
-            wv = rep_name[coalescing.find(v)]
-            if wu == wv or work.has_edge(wu, wv):
-                continue
-            if test_fn(work, wu, wv, k):
-                work.merge_in_place(wu, wv)
-                coalescing.union(u, v)
-                rep_name[coalescing.find(u)] = wu
-                progress = True
+    tracer.count("affinities.total", graph.num_affinities())
+    with tracer.span(f"conservative-{test}"):
+        progress = True
+        while progress:
+            progress = False
+            tracer.count("conservative.rounds")
+            for u, v, w in affinities_by_weight(graph):
+                wu = rep_name[coalescing.find(u)]
+                wv = rep_name[coalescing.find(v)]
+                if wu == wv:
+                    continue
+                tracer.count("queries.interference")
+                if work.has_edge(wu, wv):
+                    tracer.count("moves.constrained")
+                    continue
+                tracer.count("moves.attempted")
+                if test_fn(work, wu, wv, k):
+                    work.merge_in_place(wu, wv)
+                    coalescing.union(u, v)
+                    rep_name[coalescing.find(u)] = wu
+                    progress = True
+                    tracer.count("moves.coalesced")
+                else:
+                    tracer.count("moves.rejected")
     # final ledger from the partition itself, so affinities coalesced
     # transitively (endpoints unioned through other moves) are counted
     coalesced = [

@@ -31,6 +31,7 @@ from ..graphs.chordal import (
 )
 from ..graphs.coloring import k_coloring_exact
 from ..graphs.graph import Graph, Vertex
+from ..obs import NULL_TRACER, Tracer
 
 
 def incremental_coalescible_exact(
@@ -58,7 +59,7 @@ class IntervalWitness:
 
 
 def chordal_incremental_coalescible(
-    graph: Graph, x: Vertex, y: Vertex, k: int
+    graph: Graph, x: Vertex, y: Vertex, k: int, tracer: Tracer = NULL_TRACER
 ) -> IntervalWitness:
     """Theorem 5: polynomial incremental coalescing test on a chordal
     graph.
@@ -78,12 +79,31 @@ def chordal_incremental_coalescible(
     5. x and y can share a colour iff there is a chain of pairwise
        disjoint contiguous intervals from ``I_x`` to ``I_y`` covering P
        — found by a left-to-right marking in O(|V| · ω(G)).
+
+    ``tracer`` counts calls/verdicts and times the clique-tree and
+    marking phases.
     """
+    tracer.count("incremental.calls")
+    with tracer.span("incremental-test"):
+        witness = _coalescible_impl(graph, x, y, k, tracer)
+    if witness.mergeable:
+        tracer.count("incremental.mergeable")
+    else:
+        tracer.count("incremental.refused")
+    tracer.count("incremental.path_nodes", len(witness.path))
+    return witness
+
+
+def _coalescible_impl(
+    graph: Graph, x: Vertex, y: Vertex, k: int, tracer: Tracer
+) -> IntervalWitness:
     if k <= 0:
         return IntervalWitness(False, [], [])
+    tracer.count("queries.interference")
     if graph.has_edge(x, y):
         return IntervalWitness(False, [], [])
-    tree = clique_tree(graph)
+    with tracer.span("clique-tree"):
+        tree = clique_tree(graph)
     if tree.cliques and max(len(c) for c in tree.cliques) > k:
         return IntervalWitness(False, [], [])
 
@@ -132,21 +152,22 @@ def chordal_incremental_coalescible(
     parent: Dict[int, Tuple[int, Optional[Vertex]]] = {}
     frontier = [0]
     reached: Set[int] = {0}
-    while frontier:
-        p = frontier.pop()
-        nxt = p + 1
-        if nxt > n - 1:
-            continue
-        # fresh single-node interval at nxt
-        if slack[nxt] > 0 and nxt not in reached and nxt != n - 1:
-            reached.add(nxt)
-            parent[nxt] = (p, None)
-            frontier.append(nxt)
-        for hi, v in by_lo.get(nxt, ()):  # real intervals starting at nxt
-            if hi <= n - 2 and hi not in reached:
-                reached.add(hi)
-                parent[hi] = (p, v)
-                frontier.append(hi)
+    with tracer.span("marking"):
+        while frontier:
+            p = frontier.pop()
+            nxt = p + 1
+            if nxt > n - 1:
+                continue
+            # fresh single-node interval at nxt
+            if slack[nxt] > 0 and nxt not in reached and nxt != n - 1:
+                reached.add(nxt)
+                parent[nxt] = (p, None)
+                frontier.append(nxt)
+            for hi, v in by_lo.get(nxt, ()):  # real intervals starting at nxt
+                if hi <= n - 2 and hi not in reached:
+                    reached.add(hi)
+                    parent[hi] = (p, v)
+                    frontier.append(hi)
     # the chain must hand over to I_y = [n-1, n-1]; n ≥ 2 here because
     # x and y never share a maximal clique
     if (n - 2) not in reached:

@@ -24,13 +24,17 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..graphs.graph import Vertex
 from ..graphs.greedy import dense_subgraph_witness, is_greedy_k_colorable
 from ..graphs.interference import Coalescing, InterferenceGraph
+from ..obs import NULL_TRACER, Tracer
 from .aggressive import aggressive_coalesce
 from .base import CoalescingResult, affinities_by_weight
 from .conservative import brute_force_test
 
 
 def optimistic_coalesce(
-    graph: InterferenceGraph, k: int, recoalesce: bool = True
+    graph: InterferenceGraph,
+    k: int,
+    recoalesce: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> CoalescingResult:
     """Aggressive coalescing followed by heuristic de-coalescing.
 
@@ -43,7 +47,7 @@ def optimistic_coalesce(
     refinement that recovers moves the coarse dissolution gave up
     needlessly.
     """
-    aggressive = aggressive_coalesce(graph)
+    aggressive = aggressive_coalesce(graph, tracer=tracer)
     classes: List[Set[Vertex]] = [set(c) for c in aggressive.coalescing.classes()]
     dissolved_pairs: List[Tuple[Vertex, Vertex]] = []
 
@@ -55,52 +59,70 @@ def optimistic_coalesce(
                 c.union(members[0], other)
         return c
 
-    while True:
-        coalescing = build(classes)
-        quotient = coalescing.coalesced_graph()
-        witness = dense_subgraph_witness(quotient, k)
-        if witness is None:
-            break
-        rep_to_class: Dict[Vertex, Set[Vertex]] = {}
-        for group in classes:
-            rep = coalescing.find(next(iter(group)))
-            rep_to_class[rep] = group
-        blockers = [
-            rep_to_class[r]
-            for r in witness
-            if r in rep_to_class and len(rep_to_class[r]) > 1
-        ]
-        if not blockers:
-            # every witness vertex is primitive: the original graph is
-            # itself not greedy-k-colorable
-            raise ValueError(
-                "input graph is not greedy-k-colorable; optimistic "
-                "coalescing cannot fix spills"
+    with tracer.span("optimistic/decoalesce"):
+        while True:
+            tracer.count("optimistic.witness_checks")
+            coalescing = build(classes)
+            quotient = coalescing.coalesced_graph()
+            witness = dense_subgraph_witness(quotient, k)
+            if witness is None:
+                break
+            rep_to_class: Dict[Vertex, Set[Vertex]] = {}
+            for group in classes:
+                rep = coalescing.find(next(iter(group)))
+                rep_to_class[rep] = group
+            blockers = [
+                rep_to_class[r]
+                for r in witness
+                if r in rep_to_class and len(rep_to_class[r]) > 1
+            ]
+            if not blockers:
+                # every witness vertex is primitive: the original graph is
+                # itself not greedy-k-colorable
+                raise ValueError(
+                    "input graph is not greedy-k-colorable; optimistic "
+                    "coalescing cannot fix spills"
+                )
+            cheapest = min(blockers, key=lambda c: _internal_weight(graph, c))
+            classes.remove(cheapest)
+            for v in cheapest:
+                classes.append({v})
+            before = len(dissolved_pairs)
+            dissolved_pairs.extend(
+                (u, v)
+                for u, v, _ in graph.affinities()
+                if u in cheapest and v in cheapest
             )
-        cheapest = min(blockers, key=lambda c: _internal_weight(graph, c))
-        classes.remove(cheapest)
-        for v in cheapest:
-            classes.append({v})
-        dissolved_pairs.extend(
-            (u, v)
-            for u, v, _ in graph.affinities()
-            if u in cheapest and v in cheapest
-        )
+            tracer.count("optimistic.dissolved_classes")
+            tracer.count(
+                "optimistic.dissolved_pairs", len(dissolved_pairs) - before
+            )
+            tracer.event(
+                "optimistic.dissolve",
+                size=len(cheapest),
+                weight=_internal_weight(graph, cheapest),
+            )
 
     coalescing = build(classes)
     if recoalesce and dissolved_pairs:
-        work = coalescing.coalesced_graph()
-        rep_name = {v: coalescing.find(v) for v in graph.vertices}
-        for u, v, _ in affinities_by_weight(graph):
-            if (u, v) not in dissolved_pairs and (v, u) not in dissolved_pairs:
-                continue
-            wu, wv = rep_name[coalescing.find(u)], rep_name[coalescing.find(v)]
-            if wu == wv or work.has_edge(wu, wv):
-                continue
-            if brute_force_test(work, wu, wv, k):
-                work.merge_in_place(wu, wv)
-                coalescing.union(u, v)
-                rep_name[coalescing.find(u)] = wu
+        with tracer.span("optimistic/recoalesce"):
+            work = coalescing.coalesced_graph()
+            rep_name = {v: coalescing.find(v) for v in graph.vertices}
+            for u, v, _ in affinities_by_weight(graph):
+                if (u, v) not in dissolved_pairs and (v, u) not in dissolved_pairs:
+                    continue
+                wu, wv = rep_name[coalescing.find(u)], rep_name[coalescing.find(v)]
+                if wu == wv:
+                    continue
+                tracer.count("queries.interference")
+                if work.has_edge(wu, wv):
+                    continue
+                tracer.count("optimistic.recoalesce_attempted")
+                if brute_force_test(work, wu, wv, k):
+                    work.merge_in_place(wu, wv)
+                    coalescing.union(u, v)
+                    rep_name[coalescing.find(u)] = wu
+                    tracer.count("optimistic.recoalesced")
 
     coalesced = [
         (u, v, w)

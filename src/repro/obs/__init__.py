@@ -1,0 +1,30 @@
+"""Pass-level observability: span timers, counters, structured events.
+
+The paper's claims are qualitative behaviours of coalescing strategies
+(how often Briggs/George refuse at high pressure, where an allocator
+spends its time).  This package makes those behaviours measurable:
+every strategy and allocator accepts a ``tracer`` and records merges
+attempted/accepted/rejected, interference queries, and per-phase wall
+time.  The default :data:`NULL_TRACER` records nothing and costs
+(almost) nothing, so the instrumentation is free unless asked for.
+
+Entry points: ``python -m repro report`` (per-instance JSON/CSV stats),
+``--trace`` on the ``coalesce``/``allocate`` CLI commands, and the
+benchmark harness (tracer reports attached to ``benchmark.extra_info``).
+See ``docs/OBSERVABILITY.md`` for the counter-name conventions and the
+report schema.
+"""
+
+from .tracer import NULL_TRACER, NullTracer, Tracer
+from .export import as_report, csv_rows, merged_report, to_csv, to_json
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_report",
+    "csv_rows",
+    "merged_report",
+    "to_csv",
+    "to_json",
+]

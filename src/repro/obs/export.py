@@ -1,0 +1,85 @@
+"""Serialization and aggregation of tracer reports.
+
+A *report* is the plain dict returned by
+:meth:`repro.obs.Tracer.report`.  This module renders reports to JSON
+and CSV and merges per-instance reports into a total — the three
+operations the ``python -m repro report`` command and the benchmark
+harness need.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from .tracer import Tracer
+
+__all__ = ["as_report", "to_json", "to_csv", "csv_rows", "merged_report"]
+
+ReportLike = Union[Tracer, Dict[str, Any]]
+
+
+def as_report(source: ReportLike) -> Dict[str, Any]:
+    """Accept either a :class:`Tracer` or an already-built report dict."""
+    if isinstance(source, Tracer):
+        return source.report()
+    return source
+
+
+def to_json(source: ReportLike, indent: int = 2) -> str:
+    """The report as a JSON document (sorted counters, stable order)."""
+    return json.dumps(as_report(source), indent=indent)
+
+
+def csv_rows(source: ReportLike) -> Iterator[Tuple[str, str, float, int]]:
+    """Flatten a report into ``(kind, name, value, calls)`` rows.
+
+    Counter rows use ``kind="counter"`` with ``calls=0``; span rows use
+    ``kind="span"`` with the aggregated seconds as the value.
+    """
+    report = as_report(source)
+    for name, value in report.get("counters", {}).items():
+        yield ("counter", name, value, 0)
+    for span in report.get("spans", []):
+        yield ("span", span["name"], span["seconds"], span["calls"])
+
+
+def to_csv(source: ReportLike) -> str:
+    """The report as CSV text with a ``kind,name,value,calls`` header."""
+    out = io.StringIO()
+    out.write("kind,name,value,calls\n")
+    for kind, name, value, calls in csv_rows(source):
+        out.write(f"{kind},{name},{value:g},{calls}\n")
+    return out.getvalue()
+
+
+def merged_report(reports: Sequence[ReportLike]) -> Dict[str, Any]:
+    """Sum counters and span statistics across reports.
+
+    Events are not merged (they are per-run evidence, and concatenating
+    them across instances would scramble their timelines); the result
+    records how many reports went in instead.
+    """
+    counters: Dict[str, float] = {}
+    spans: Dict[str, List[float]] = {}
+    dropped = 0
+    items = [as_report(r) for r in reports]
+    for report in items:
+        for name, value in report.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for span in report.get("spans", []):
+            stat = spans.setdefault(span["name"], [0, 0.0])
+            stat[0] += span["calls"]
+            stat[1] += span["seconds"]
+        dropped += report.get("dropped_events", 0)
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "spans": [
+            {"name": name, "calls": int(calls), "seconds": round(seconds, 6)}
+            for name, (calls, seconds) in sorted(spans.items())
+        ],
+        "events": [],
+        "meta": {"merged_reports": len(items)},
+        "dropped_events": dropped,
+    }

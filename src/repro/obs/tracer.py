@@ -1,0 +1,186 @@
+"""Span/counter tracer — the core of the observability layer.
+
+A :class:`Tracer` collects three kinds of evidence while a strategy or
+allocator runs:
+
+* **counters** — monotonically accumulated named numbers
+  (``tracer.count("moves.coalesced")``).  Dotted names group related
+  counters; the conventions used by the library are documented in
+  ``docs/OBSERVABILITY.md``.
+* **spans** — nested wall-clock timers (``with tracer.span("phase")``).
+  Spans aggregate by their slash-joined nesting path, so a phase
+  entered many times costs one record, not one per entry.
+* **events** — optional structured records for rare, interesting
+  moments (``tracer.event("dissolve", cls=3)``), capped at
+  ``max_events`` to bound memory (overflow is counted, not silently
+  dropped).
+
+Every instrumented function takes ``tracer=NULL_TRACER`` — a shared
+no-op :class:`NullTracer` — so the default path pays only an attribute
+lookup and an empty call per instrumentation point.  Hot inner loops
+can hoist even that with ``if tracer.enabled: ...``.
+
+:meth:`Tracer.report` returns a plain-``dict`` snapshot that is
+JSON-serializable as-is; :mod:`repro.obs.export` renders it to JSON or
+CSV and merges reports across instances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class _SpanHandle:
+    """Context manager for one entry into a named span."""
+
+    __slots__ = ("_tracer", "_name", "_path", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_SpanHandle":
+        stack = self._tracer._stack
+        stack.append(self._name)
+        self._path = "/".join(stack)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        tracer = self._tracer
+        tracer._stack.pop()
+        stat = tracer._spans.get(self._path)
+        if stat is None:
+            tracer._spans[self._path] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+        return False
+
+
+class Tracer:
+    """Collects counters, nested span timings, and structured events."""
+
+    enabled = True
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        self.counters: Dict[str, float] = {}
+        self.meta: Dict[str, Any] = {}
+        self._spans: Dict[str, List[float]] = {}  # path -> [calls, seconds]
+        self._events: List[Dict[str, Any]] = []
+        self._stack: List[str] = []
+        self._max_events = max_events
+        self._dropped_events = 0
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the named counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def span(self, name: str):
+        """A context manager timing one (possibly nested) phase.
+
+        Re-entering the same name at the same nesting depth aggregates
+        into a single record keyed by the slash-joined path.
+        """
+        return _SpanHandle(self, name)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a structured event (kept in order, capped)."""
+        if len(self._events) >= self._max_events:
+            self._dropped_events += 1
+            return
+        record: Dict[str, Any] = {
+            "name": name,
+            "at": round(time.perf_counter() - self._t0, 6),
+        }
+        record.update(fields)
+        self._events.append(record)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> Dict[str, Dict[str, float]]:
+        """Aggregated span statistics: path -> {calls, seconds}."""
+        return {
+            path: {"calls": int(calls), "seconds": seconds}
+            for path, (calls, seconds) in self._spans.items()
+        }
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The recorded events (a copy)."""
+        return list(self._events)
+
+    def report(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of everything collected.
+
+        Schema (see docs/OBSERVABILITY.md)::
+
+            {"counters": {name: number, ...},
+             "spans": [{"name": path, "calls": n, "seconds": s}, ...],
+             "events": [{"name": ..., "at": seconds, ...}, ...],
+             "meta": {...},
+             "dropped_events": n}
+        """
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "spans": [
+                {"name": path, "calls": int(calls), "seconds": round(seconds, 6)}
+                for path, (calls, seconds) in sorted(self._spans.items())
+            ],
+            "events": list(self._events),
+            "meta": dict(self.meta),
+            "dropped_events": self._dropped_events,
+        }
+
+    def clear(self) -> None:
+        """Reset all collected data (the clock restarts too)."""
+        self.counters.clear()
+        self.meta.clear()
+        self._spans.clear()
+        self._events.clear()
+        self._stack.clear()
+        self._dropped_events = 0
+        self._t0 = time.perf_counter()
+
+
+class _NullSpan:
+    """Shared reentrant no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the zero-overhead default.
+
+    All instrumented code paths accept ``tracer=NULL_TRACER``; calling
+    its methods is a no-op, and ``tracer.enabled`` is False so hot
+    loops can skip instrumentation entirely.
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+
+#: The process-wide no-op tracer used as the default everywhere.
+NULL_TRACER = NullTracer()
