@@ -6,42 +6,52 @@ degrade precisely when the register pressure is close to the register
 count (the regime aggressive SSA-based spilling produces), while the
 global tests keep coalescing.  The sweep over the margin k − Maxlive
 regenerates that crossover as a series.
+
+The instance grid (margin × strategy × seed) is declared as
+:mod:`repro.engine` task specs and executed through the campaign
+engine's inline mode — the same specs, run with ``--workers N``
+through ``repro campaign``, parallelize the sweep across processes.
 """
 
 import random
 
 import pytest
 
-from conftest import emit
-from repro.challenge.generator import pressure_instance
+from conftest import attach_tracer, emit
+from repro.engine import TaskSpec, expand_grid, run_tasks
 from repro.coalescing.conservative import conservative_coalesce
-from repro.coalescing.optimistic import optimistic_coalesce
+from repro.challenge.generator import pressure_instance
 
 K = 7
 MARGINS = [0, 1, 2, 3]
 STRATEGIES = ["briggs", "george", "briggs_george", "brute", "optimistic"]
+SEEDS = 6
+ROUNDS = 9
 
 
-def _fraction(margin: int, strategy: str) -> float:
-    coalesced = total = 0.0
-    for seed in range(6):
-        inst = pressure_instance(K, 9, margin=margin, rng=random.Random(seed))
-        total += inst.graph.total_affinity_weight()
-        if strategy == "optimistic":
-            r = optimistic_coalesce(inst.graph, inst.k)
-        else:
-            r = conservative_coalesce(inst.graph, inst.k, test=strategy)
-        coalesced += r.coalesced_weight
-    return coalesced / total if total else 1.0
+def _specs():
+    return expand_grid(
+        {"margin": MARGINS, "strategy": STRATEGIES, "seed": {"count": SEEDS}},
+        {"generator": "pressure", "k": K, "rounds": ROUNDS},
+    )
 
 
 def test_pressure_sweep(benchmark):
+    specs = _specs()
+    records = run_tasks(specs, workers=0)
+    assert all(r["status"] == "ok" for r in records)
+    coalesced = {(m, s): 0.0 for m in MARGINS for s in STRATEGIES}
+    total = {(m, s): 0.0 for m in MARGINS for s in STRATEGIES}
+    for spec, rec in zip(specs, records):
+        key = (spec.params_dict()["margin"], spec.strategy)
+        payload = rec["payload"]
+        coalesced[key] += payload["coalesced_weight"]
+        total[key] += payload["coalesced_weight"] + payload["residual_weight"]
     data = {
-        (margin, s): _fraction(margin, s)
-        for margin in MARGINS
-        for s in STRATEGIES
+        key: (coalesced[key] / total[key] if total[key] else 1.0)
+        for key in coalesced
     }
-    inst = pressure_instance(K, 9, margin=0, rng=random.Random(0))
+    inst = pressure_instance(K, ROUNDS, margin=0, rng=random.Random(0))
     benchmark(conservative_coalesce, inst.graph, K, "briggs")
     emit(
         benchmark,
@@ -52,6 +62,7 @@ def test_pressure_sweep(benchmark):
             for s in STRATEGIES
         ],
     )
+    attach_tracer(benchmark, [r["trace"] for r in records], label="engine")
     # the paper's shape: at margin 0 local rules are clearly behind the
     # global tests; with slack everyone coalesces (almost) everything
     assert data[(0, "brute")] > data[(0, "briggs")]

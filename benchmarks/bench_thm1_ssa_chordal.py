@@ -4,11 +4,17 @@
 Regenerates, over a batch of random structured programs, the per-program
 evidence (chordality flag, ω, Maxlive) and times the full pipeline
 (SSA construction → interference graph → chordality + ω check).
+
+The per-seed grid is declared as :mod:`repro.engine` task specs
+(``strategy="call"`` with this module's :func:`thm1_task` as the
+generator), so the same batch can be sharded across worker processes
+by ``repro campaign``.
 """
 
 import pytest
 
 from conftest import emit
+from repro.engine import TaskSpec, run_tasks
 from repro.graphs.chordal import clique_number_chordal, is_chordal
 from repro.ir import (
     GeneratorConfig,
@@ -22,8 +28,14 @@ SEEDS = list(range(12))
 CONFIG = GeneratorConfig(num_vars=10, max_depth=3, max_stmts=6)
 
 
-def _run_one(seed: int):
-    ssa = construct_ssa(random_function(seed, CONFIG))
+def thm1_task(seed, k, params, tracer, budget):
+    """Engine task: one random program's Theorem 1 evidence row."""
+    config = GeneratorConfig(
+        num_vars=int(params.get("num_vars", CONFIG.num_vars)),
+        max_depth=int(params.get("max_depth", CONFIG.max_depth)),
+        max_stmts=int(params.get("max_stmts", CONFIG.max_stmts)),
+    )
+    ssa = construct_ssa(random_function(seed, config))
     graph = chaitin_interference(ssa).structural_graph()
     omega = clique_number_chordal(graph) if len(graph) else 0
     return {
@@ -36,9 +48,22 @@ def _run_one(seed: int):
     }
 
 
+def _specs():
+    return [
+        TaskSpec(
+            generator="bench_thm1_ssa_chordal:thm1_task",
+            strategy="call",
+            seed=seed,
+        )
+        for seed in SEEDS
+    ]
+
+
 def test_theorem1_reproduction(benchmark):
-    rows = [_run_one(seed) for seed in SEEDS]
-    benchmark(_run_one, SEEDS[0])
+    records = run_tasks(_specs(), workers=0)
+    assert all(r["status"] == "ok" for r in records)
+    rows = [r["payload"] for r in records]
+    benchmark(thm1_task, SEEDS[0], 0, {}, None, None)
     emit(
         benchmark,
         "Theorem 1: chordality and omega = Maxlive on random SSA programs",

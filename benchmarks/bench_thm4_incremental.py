@@ -4,6 +4,11 @@ graph (Figure 4).
 Regenerates the equivalence — DPLL verdict versus "is there a
 3-colouring with colour(x0) = colour(F)" — on satisfiable and
 unsatisfiable formulas, and times the reduction construction.
+
+The random-formula grid is declared as :mod:`repro.engine` task specs
+(``strategy="call"`` with :func:`thm4_task` as the generator), with a
+step budget threaded into the DPLL solver — the cooperative in-process
+timeout a sharded ``repro campaign`` run relies on.
 """
 
 import itertools
@@ -12,12 +17,15 @@ import random
 import pytest
 
 from conftest import emit
+from repro.engine import TaskSpec, run_tasks
 from repro.graphs.coloring import is_k_colorable
 from repro.reductions.incremental_reduction import (
     decide_via_coalescing,
     reduce_3sat,
 )
 from repro.reductions.sat import CNF, is_satisfiable, random_3sat
+
+RANDOM_SEEDS = 6
 
 
 def _unsat():
@@ -27,28 +35,42 @@ def _unsat():
     return cnf
 
 
-def _instances():
-    out = [("crafted-unsat", _unsat())]
-    for seed in range(6):
-        rng = random.Random(seed)
-        out.append((f"random{seed}", random_3sat(3, rng.randint(3, 7), rng)))
-    return out
-
-
-def _one(name: str, cnf: CNF):
+def _row(name: str, cnf: CNF, budget=None):
     red = reduce_3sat(cnf)
     return {
         "name": name,
         "clauses": len(cnf.clauses),
         "graph_V": len(red.fsg.graph),
         "base_3colorable": is_k_colorable(red.fsg.graph, 3),
-        "sat": is_satisfiable(cnf),
+        "sat": is_satisfiable(cnf, budget=budget),
         "coalescible": decide_via_coalescing(red),
     }
 
 
+def thm4_task(seed, k, params, tracer, budget):
+    """Engine task: the Theorem 4 row for one random 3SAT formula."""
+    rng = random.Random(seed)
+    cnf = random_3sat(3, rng.randint(3, 7), rng)
+    return _row(f"random{seed}", cnf, budget=budget)
+
+
+def _specs():
+    return [
+        TaskSpec(
+            generator="bench_thm4_incremental:thm4_task",
+            strategy="call",
+            seed=seed,
+            max_steps=1_000_000,
+        )
+        for seed in range(RANDOM_SEEDS)
+    ]
+
+
 def test_theorem4_reproduction(benchmark):
-    rows = [_one(name, cnf) for name, cnf in _instances()]
+    rows = [_row("crafted-unsat", _unsat())]
+    records = run_tasks(_specs(), workers=0)
+    assert all(r["status"] == "ok" for r in records)
+    rows.extend(r["payload"] for r in records)
     benchmark(reduce_3sat, random_3sat(4, 8, random.Random(0)))
     emit(
         benchmark,

@@ -38,6 +38,9 @@ MODULES = [
     "repro.allocator.spill", "repro.allocator.chaitin", "repro.allocator.irc",
     "repro.allocator.ssa_allocator", "repro.allocator.local",
     "repro.obs.tracer", "repro.obs.export",
+    "repro.budget",
+    "repro.engine.tasks", "repro.engine.pool", "repro.engine.cache",
+    "repro.engine.campaign",
     "repro.reductions.sat", "repro.reductions.multiway_cut",
     "repro.reductions.vertex_cover", "repro.reductions.kcolor",
     "repro.reductions.aggressive_reduction",

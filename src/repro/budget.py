@@ -1,0 +1,110 @@
+"""Cooperative step/wall-clock budgets for the exact solvers.
+
+The NP-hard baselines (:mod:`repro.coalescing.exact`,
+:mod:`repro.reductions.sat`) explore exponential search trees; one hard
+instance can stall an entire experiment sweep.  A :class:`Budget` lets
+a caller bound such a search *cooperatively*: the solver calls
+:meth:`Budget.check` inside its search loop and a typed
+:exc:`BudgetExceeded` is raised the moment the step count or the
+wall-clock deadline is spent.  Because the exception is raised by the
+solver's own thread, the process stays healthy — no signals, no
+threads, no killed workers — which is exactly what the
+:mod:`repro.engine` worker pool needs for in-process timeouts (its
+wall-clock *task* timeout, which does terminate the worker process, is
+the uncooperative fallback).
+
+``BudgetExceeded`` subclasses ``RuntimeError`` so existing callers that
+already guard exact solvers with ``except RuntimeError`` keep working.
+
+Usage::
+
+    from repro.budget import Budget, BudgetExceeded
+
+    budget = Budget(max_steps=100_000, max_seconds=2.0)
+    try:
+        result = optimal_conservative_coalescing(g, k, budget=budget)
+    except BudgetExceeded as exc:
+        ...  # exc.reason is "steps" or "deadline"
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Budget", "BudgetExceeded"]
+
+#: How many :meth:`Budget.check` calls pass between wall-clock reads.
+#: Reading the clock costs far more than the step bookkeeping, so the
+#: deadline is only polled every ``_CLOCK_MASK + 1`` steps.
+_CLOCK_MASK = 0xFF
+
+
+class BudgetExceeded(RuntimeError):
+    """A cooperative budget ran out inside a solver's search loop.
+
+    ``reason`` is ``"steps"`` or ``"deadline"``; ``steps`` and
+    ``elapsed`` record how far the search got.
+    """
+
+    def __init__(self, reason: str, steps: int, elapsed: float) -> None:
+        super().__init__(
+            f"budget exceeded ({reason}) after {steps} steps, "
+            f"{elapsed:.3f}s"
+        )
+        self.reason = reason
+        self.steps = steps
+        self.elapsed = elapsed
+
+
+class Budget:
+    """A step-count and/or wall-clock limit checked cooperatively.
+
+    Either limit may be ``None`` (unlimited).  ``check()`` is designed
+    to sit inside hot search loops: it increments a counter, compares
+    it against ``max_steps``, and reads the clock only once every
+    ``_CLOCK_MASK + 1`` calls.
+    """
+
+    __slots__ = ("max_steps", "max_seconds", "steps", "_t0", "_deadline")
+
+    def __init__(
+        self,
+        max_steps: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> None:
+        if max_steps is not None and max_steps <= 0:
+            raise ValueError("max_steps must be positive (or None)")
+        if max_seconds is not None and max_seconds <= 0:
+            raise ValueError("max_seconds must be positive (or None)")
+        self.max_steps = max_steps
+        self.max_seconds = max_seconds
+        self.steps = 0
+        self._t0 = time.monotonic()
+        self._deadline = (
+            None if max_seconds is None else self._t0 + max_seconds
+        )
+
+    def elapsed(self) -> float:
+        """Seconds since the budget was created."""
+        return time.monotonic() - self._t0
+
+    def check(self) -> None:
+        """Account one search step; raise :exc:`BudgetExceeded` if spent."""
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExceeded("steps", self.steps, self.elapsed())
+        if (
+            self._deadline is not None
+            and (self.steps & _CLOCK_MASK) == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise BudgetExceeded("deadline", self.steps, self.elapsed())
+
+    def exhausted(self) -> bool:
+        """True iff a limit is already over (without raising)."""
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return True
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return True
+        return False

@@ -26,6 +26,12 @@ Commands
 
 ``dot FILE [--instance NAME]``
     Render an instance as Graphviz DOT on stdout.
+
+``campaign {run,status,resume} SPEC [--workers N] [--cache-dir DIR]``
+    Execute an experiment campaign (a JSON spec of task grids) through
+    the :mod:`repro.engine` worker pool: parallel, timeout-bounded,
+    crash-isolated, and resumable via the on-disk result cache.  See
+    ``docs/ENGINE.md``.
 """
 
 from __future__ import annotations
@@ -39,10 +45,8 @@ from typing import List, Optional
 
 from .challenge.format import dump_instance, load_instances
 from .challenge.generator import pressure_instance, program_instance
-from .coalescing import TESTS, conservative_coalesce, optimistic_coalesce
-from .coalescing.aggressive import aggressive_coalesce
-from .coalescing.biased import biased_coloring_result
-from .coalescing.chordal_strategy import chordal_incremental_coalesce
+from .coalescing import TESTS
+from .engine.tasks import execute_strategy as _run_strategy
 from .graphs.chordal import is_chordal
 from .graphs.greedy import coloring_number, is_greedy_k_colorable
 from .graphs.io import read_dimacs, to_dot
@@ -51,22 +55,6 @@ from .obs import NULL_TRACER, Tracer, merged_report
 STRATEGIES = sorted(TESTS) + [
     "aggressive", "optimistic", "biased", "chordal", "irc",
 ]
-
-
-def _run_strategy(graph, k: int, strategy: str, tracer: Tracer = NULL_TRACER):
-    if strategy == "aggressive":
-        return aggressive_coalesce(graph, tracer=tracer)
-    if strategy == "optimistic":
-        return optimistic_coalesce(graph, k, tracer=tracer)
-    if strategy == "biased":
-        return biased_coloring_result(graph, k, tracer=tracer)
-    if strategy == "chordal":
-        return chordal_incremental_coalesce(graph, k, tracer=tracer)
-    if strategy == "irc":
-        from .allocator.irc import irc_coalescing_result
-
-        return irc_coalescing_result(graph, k, tracer=tracer)
-    return conservative_coalesce(graph, k, test=strategy, tracer=tracer)
 
 
 def _print_trace(report: dict, out=None) -> None:
@@ -311,6 +299,75 @@ def cmd_score(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run, resume, or inspect an experiment campaign (repro.engine)."""
+    import os
+
+    from .engine import ResultCache, campaign_status, load_campaign, run_campaign
+
+    try:
+        campaign = load_campaign(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"campaign spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "resume" and not os.path.isdir(args.cache_dir):
+        print(
+            f"resume: cache directory {args.cache_dir!r} does not exist "
+            "(nothing to resume; use 'run')",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_dir)
+
+    if args.action == "status":
+        status = campaign_status(campaign, cache)
+        if args.json:
+            json.dump(status, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            print(f"campaign {status['campaign']}: "
+                  f"{status['total_tasks']} tasks")
+            for name, count in status["by_status"].items():
+                print(f"  {name:<16} {count}")
+            print(f"  {'missing':<16} {status['missing']}")
+            print(f"  would run {status['would_run']}, "
+                  f"reusable {status['reusable']}")
+        return 0
+
+    summary = run_campaign(
+        campaign,
+        cache,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    if args.output:
+        with open(args.output, "w") as stream:
+            json.dump(summary, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"campaign {summary['campaign']}: "
+              f"{summary['total_tasks']} tasks, "
+              f"{summary['cache_hits']} cache hits, "
+              f"{summary['executed']} executed "
+              f"in {summary['wall_seconds']:.2f}s "
+              f"(workers={summary['workers']})")
+        for name, count in summary["by_status"].items():
+            print(f"  {name:<16} {count}")
+        counters = summary["trace"]["counters"]
+        for name in sorted(c for c in counters if c.startswith("engine.")):
+            print(f"  {name:<24} {counters[name]:g}")
+        print(f"  result hash      {summary['result_hash']}")
+        if summary.get("summary_path"):
+            print(f"  summary artifact {summary['summary_path']}")
+        if summary["failed_tasks"]:
+            print(f"  FAILED tasks: {', '.join(summary['failed_tasks'])}")
+    return 1 if summary["failed_tasks"] else 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     """Render one instance as Graphviz DOT on stdout."""
     instances = _load(args.file, args.dimacs)
@@ -390,6 +447,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("instances")
     p.add_argument("solutions")
     p.set_defaults(func=cmd_score)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run/resume/inspect a parallel experiment campaign",
+    )
+    p.add_argument("action", choices=["run", "status", "resume"])
+    p.add_argument("spec", help="campaign spec file (JSON; docs/ENGINE.md)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (0 = inline, no subprocesses)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result cache directory (default .repro-cache)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-task wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=None,
+                   help="extra attempts for timed-out/crashed tasks")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary/status as JSON")
+    p.add_argument("-o", "--output", help="also write the summary here")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("dot", help="render an instance as Graphviz DOT")
     p.add_argument("file")

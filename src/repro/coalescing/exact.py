@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..budget import Budget
 from ..graphs.coloring import is_k_colorable
 from ..graphs.graph import Vertex
 from ..graphs.greedy import is_greedy_k_colorable
@@ -29,6 +30,7 @@ def optimal_conservative_coalescing(
     k: int,
     target: str = "greedy",
     node_limit: int = 500_000,
+    budget: Optional[Budget] = None,
 ) -> CoalescingResult:
     """Branch-and-bound optimum of conservative coalescing.
 
@@ -37,7 +39,11 @@ def optimal_conservative_coalescing(
     k-colorability, the paper's base problem).  Maximizes coalesced
     weight = minimizes the residual move cost K.
 
-    Raises ``RuntimeError`` past ``node_limit`` search nodes.
+    Raises ``RuntimeError`` past ``node_limit`` search nodes.  An
+    optional :class:`repro.budget.Budget` is checked at every search
+    node and raises the typed :exc:`repro.budget.BudgetExceeded`
+    (a ``RuntimeError`` subclass) — the cooperative in-process timeout
+    the :mod:`repro.engine` worker pool relies on.
     """
     if target not in ("greedy", "kcolorable"):
         raise ValueError(f"unknown target {target!r}")
@@ -61,6 +67,8 @@ def optimal_conservative_coalescing(
         nodes[0] += 1
         if nodes[0] > node_limit:
             raise RuntimeError("optimal_conservative_coalescing: node limit")
+        if budget is not None:
+            budget.check()
         if cost >= best_cost[0]:
             return
         if i == len(affinities):

@@ -1,0 +1,84 @@
+"""Content-addressed on-disk result store for campaign tasks.
+
+Records are the JSON dicts produced by :func:`repro.engine.tasks.run_task`
+(or synthesized by the pool for timeouts/crashes), keyed by
+:func:`repro.engine.tasks.task_hash` — which already folds in the
+engine code version, so a version bump naturally invalidates every
+entry without any explicit migration.
+
+Layout (two-level fan-out keeps directories small)::
+
+    <root>/
+      ab/abcdef0123456789.json      # one record per task key
+      <name>.summary.json           # campaign summary artifacts
+
+Writes are atomic (temp file + ``os.replace``) so an interrupted
+campaign never leaves a half-written record; corrupt or unreadable
+entries read back as misses and are simply re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of JSON task records addressed by task hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """Where the record for ``key`` lives (may not exist yet)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record, or None on miss *or* corrupt entry."""
+        try:
+            with open(self.path(key)) as stream:
+                record = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically write (or overwrite) the record for ``key``."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as stream:
+            json.dump(record, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, path)
+
+    def delete(self, key: str) -> bool:
+        """Drop one record; True iff it existed."""
+        try:
+            os.unlink(self.path(key))
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """All task keys currently stored."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def summary_path(self, name: str) -> Path:
+        """Where a campaign's summary artifact is written."""
+        return self.root / f"{name}.summary.json"

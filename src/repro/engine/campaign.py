@@ -1,0 +1,232 @@
+"""Campaign orchestration: shards, cache reuse, merged reports, summary.
+
+A :class:`Campaign` is a named list of task specs plus execution
+parameters.  :func:`run_campaign` consults the
+:class:`~repro.engine.cache.ResultCache` first — reusable records
+(statuses ``ok`` and ``budget_exceeded``, both deterministic outcomes)
+count as cache hits; missing, ``timeout``, ``crashed`` and ``error``
+records are (re-)executed through the pool — which is what makes an
+interrupted or partially-failed campaign *resumable*: running it again
+only executes what is missing or failed.
+
+Every finalized record is written to the cache as it settles, each
+task's tracer report is absorbed into the campaign tracer
+(:meth:`repro.obs.Tracer.absorb`), and the run ends with a summary
+artifact (written next to the cache) whose ``result_hash`` is a stable
+digest of the per-task result hashes *in task order* — identical for 1
+and N workers by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..obs import Tracer
+from .cache import ResultCache
+from .pool import run_tasks
+from .tasks import ENGINE_VERSION, TaskSpec, expand_grid, task_hash
+
+__all__ = [
+    "Campaign",
+    "load_campaign",
+    "run_campaign",
+    "campaign_status",
+    "REUSABLE_STATUSES",
+]
+
+#: Cached statuses that are deterministic outcomes and thus reusable.
+REUSABLE_STATUSES = frozenset({"ok", "budget_exceeded"})
+
+
+@dataclass
+class Campaign:
+    """A named task list plus execution parameters (all overridable at
+    run time)."""
+
+    name: str
+    tasks: List[TaskSpec]
+    workers: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+    backoff: float = 0.5
+
+    def keys(self) -> List[str]:
+        """The content addresses of every task, in task order."""
+        return [task_hash(spec) for spec in self.tasks]
+
+
+def load_campaign(path: str) -> Campaign:
+    """Load a campaign spec file (JSON).
+
+    Schema (see ``docs/ENGINE.md``)::
+
+        {"name": "sweep",
+         "workers": 4, "timeout": 30.0, "retries": 1,      # optional
+         "defaults": {"generator": "pressure", "k": 6},    # optional
+         "grid":  {"seed": {"count": 50}, "margin": [0, 1],
+                   "strategy": ["briggs", "brute"]},       # and/or
+         "tasks": [{"generator": "pressure", "seed": 7, ...}]}
+
+    ``grid`` expands to the cartesian product via
+    :func:`repro.engine.tasks.expand_grid`; explicit ``tasks`` entries
+    are appended after the grid.
+    """
+    with open(path) as stream:
+        data = json.load(stream)
+    if not isinstance(data, dict) or "name" not in data:
+        raise ValueError(f"{path}: campaign spec needs a 'name'")
+    defaults = data.get("defaults", {})
+    tasks: List[TaskSpec] = []
+    if "grid" in data:
+        tasks.extend(expand_grid(data["grid"], defaults))
+    for entry in data.get("tasks", []):
+        merged = {**defaults, **entry}
+        fields = {k: v for k, v in merged.items()
+                  if k in ("generator", "seed", "k", "strategy",
+                           "max_steps", "max_seconds", "params")}
+        extra = {k: v for k, v in merged.items() if k not in fields}
+        params = dict(fields.pop("params", {}))
+        params.update(extra)
+        tasks.append(TaskSpec.from_dict({**fields, "params": params}))
+    if not tasks:
+        raise ValueError(f"{path}: campaign has no tasks (grid or tasks)")
+    return Campaign(
+        name=str(data["name"]),
+        tasks=tasks,
+        workers=int(data.get("workers", 1)),
+        timeout=data.get("timeout"),
+        retries=int(data.get("retries", 1)),
+        backoff=float(data.get("backoff", 0.5)),
+    )
+
+
+def campaign_status(campaign: Campaign, cache: ResultCache) -> Dict[str, Any]:
+    """What the cache already knows about a campaign: per-status counts
+    plus which tasks would run on (re-)execution."""
+    by_status: Dict[str, int] = {}
+    missing = 0
+    would_run: List[str] = []
+    for spec in campaign.tasks:
+        key = task_hash(spec)
+        record = cache.get(key)
+        if record is None:
+            missing += 1
+            would_run.append(key)
+            continue
+        status = record.get("status", "unknown")
+        by_status[status] = by_status.get(status, 0) + 1
+        if status not in REUSABLE_STATUSES:
+            would_run.append(key)
+    return {
+        "campaign": campaign.name,
+        "engine_version": ENGINE_VERSION,
+        "total_tasks": len(campaign.tasks),
+        "by_status": dict(sorted(by_status.items())),
+        "missing": missing,
+        "would_run": len(would_run),
+        "reusable": len(campaign.tasks) - len(would_run),
+    }
+
+
+def _campaign_result_hash(records: List[Dict[str, Any]]) -> str:
+    """Digest of per-task semantic outcomes, in task order."""
+    parts = [r.get("result_hash") or f"status:{r.get('status')}"
+             for r in records]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+
+
+def run_campaign(
+    campaign: Campaign,
+    cache: ResultCache,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    write_summary: bool = True,
+) -> Dict[str, Any]:
+    """Execute (or resume) a campaign; return the summary dict.
+
+    Only missing and non-reusable cached tasks are executed; every
+    settled record is written to the cache immediately, so interrupting
+    the run loses at most the in-flight tasks.  The summary aggregates
+    statuses, cache hits, the engine counters, and the merged
+    per-task tracer reports.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    workers = campaign.workers if workers is None else workers
+    timeout = campaign.timeout if timeout is None else timeout
+    retries = campaign.retries if retries is None else retries
+    t0 = time.perf_counter()
+
+    records: List[Optional[Dict[str, Any]]] = [None] * len(campaign.tasks)
+    to_run: List[int] = []
+    for i, spec in enumerate(campaign.tasks):
+        cached = cache.get(task_hash(spec))
+        if cached is not None and cached.get("status") in REUSABLE_STATUSES:
+            records[i] = cached
+            tracer.count("engine.cache_hits")
+        else:
+            to_run.append(i)
+
+    def on_record(record: Dict[str, Any]) -> None:
+        cache.put(record["key"], record)
+
+    fresh = run_tasks(
+        [campaign.tasks[i] for i in to_run],
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        backoff=campaign.backoff,
+        tracer=tracer,
+        on_record=on_record,
+    )
+    for i, record in zip(to_run, fresh):
+        records[i] = record
+    final: List[Dict[str, Any]] = [r for r in records if r is not None]
+
+    by_status: Dict[str, int] = {}
+    aggregate = {"coalesced": 0, "coalesced_weight": 0.0,
+                 "residual_weight": 0.0, "vertices": 0}
+    failed: List[str] = []
+    task_seconds = 0.0
+    for record in final:
+        status = record.get("status", "unknown")
+        by_status[status] = by_status.get(status, 0) + 1
+        if status not in REUSABLE_STATUSES:
+            failed.append(record["key"])
+        task_seconds += record.get("seconds") or 0.0
+        if record.get("trace"):
+            tracer.absorb(record["trace"])
+        payload = record.get("payload")
+        if status == "ok" and isinstance(payload, dict):
+            for field_name in aggregate:
+                value = payload.get(field_name)
+                if isinstance(value, (int, float)):
+                    aggregate[field_name] += value
+    summary = {
+        "campaign": campaign.name,
+        "engine_version": ENGINE_VERSION,
+        "total_tasks": len(campaign.tasks),
+        "workers": workers,
+        "cache_hits": int(tracer.counters.get("engine.cache_hits", 0)),
+        "executed": len(to_run),
+        "by_status": dict(sorted(by_status.items())),
+        "failed_tasks": failed,
+        "wall_seconds": round(time.perf_counter() - t0, 6),
+        "task_seconds": round(task_seconds, 6),
+        "result_hash": _campaign_result_hash(final),
+        "aggregate": aggregate,
+        "trace": tracer.report(),
+    }
+    if write_summary:
+        path = cache.summary_path(campaign.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as stream:
+            json.dump(summary, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        summary["summary_path"] = str(path)
+    return summary

@@ -1,0 +1,241 @@
+"""Fault-tolerant worker pool: per-task timeout, retry, crash isolation.
+
+:func:`run_tasks` executes a list of :class:`~repro.engine.tasks.TaskSpec`
+on up to ``workers`` concurrent **one-task processes**.  One process per
+task (rather than a long-lived pool) is what makes the failure
+semantics simple and airtight:
+
+* a task that overruns its wall-clock ``timeout`` is *terminated* and
+  the rest of the campaign never notices (status ``timeout``);
+* a worker that dies — segfault, ``os._exit``, OOM kill — is detected
+  as a closed pipe (status ``crashed``);
+* both are *retryable*: the task is re-queued with linear backoff up to
+  ``retries`` extra attempts before its status sticks;
+* an exception raised by the task itself is deterministic, so it is
+  recorded as ``error`` immediately, with no retry;
+* :exc:`~repro.budget.BudgetExceeded` is a *result*, not a failure —
+  the worker reports ``budget_exceeded`` and the record is cacheable.
+
+``workers=0`` runs everything inline in the calling process — no
+subprocesses, no hang protection (only cooperative budgets) — which is
+what the benchmarks and any deterministic single-process use case want.
+Task records come back **in input order** regardless of completion
+order, so campaign-level result hashes are identical for 1 and N
+workers.
+
+Progress counters are threaded through a :class:`repro.obs.Tracer`:
+``engine.tasks_run``, ``engine.timeouts``, ``engine.crashes``,
+``engine.retries``, ``engine.errors`` (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..budget import BudgetExceeded
+from ..obs import NULL_TRACER, Tracer
+from .tasks import TaskSpec, run_task, task_hash
+
+__all__ = ["run_tasks", "RETRYABLE_STATUSES"]
+
+#: Statuses caused by the environment rather than the task itself —
+#: the only ones worth retrying.
+RETRYABLE_STATUSES = frozenset({"timeout", "crashed"})
+
+#: How long the event loop sleeps waiting for worker messages.
+_POLL_SECONDS = 0.05
+
+
+def _guarded_run(spec: TaskSpec) -> Dict[str, Any]:
+    """Run one task, converting task-raised exceptions into ``error``
+    records (deterministic failures; never retried)."""
+    try:
+        return run_task(spec)
+    except BudgetExceeded:  # run_task already handles this; belt+braces
+        raise
+    except Exception:
+        return _failure_record(
+            spec, "error", error=traceback.format_exc(limit=20)
+        )
+
+
+def _failure_record(
+    spec: TaskSpec,
+    status: str,
+    error: Optional[str] = None,
+    seconds: float = 0.0,
+) -> Dict[str, Any]:
+    from .tasks import ENGINE_VERSION
+
+    return {
+        "schema": 1,
+        "engine": ENGINE_VERSION,
+        "key": task_hash(spec),
+        "task": spec.as_dict(),
+        "status": status,
+        "attempts": 1,
+        "payload": None,
+        "result_hash": None,
+        "error": error,
+        "seconds": seconds,
+        "trace": None,
+    }
+
+
+def _worker(conn, spec_dict: Dict[str, Any]) -> None:
+    """Subprocess entry point: run the task, ship the record, exit."""
+    record = _guarded_run(TaskSpec.from_dict(spec_dict))
+    conn.send(record)
+    conn.close()
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline", "t0")
+
+    def __init__(self, index, spec, attempt, proc, conn, deadline, t0):
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+        self.t0 = t0
+
+
+def run_tasks(
+    specs: Sequence[TaskSpec],
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    tracer: Tracer = NULL_TRACER,
+    on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Execute every spec; return one record per spec, in input order.
+
+    ``timeout`` is the per-task wall-clock limit in seconds (None =
+    unlimited); ``retries`` is how many *extra* attempts a retryable
+    failure gets; ``backoff`` scales the linear delay before attempt n
+    re-launches.  ``on_record`` is called with each finalized record as
+    it settles (the campaign layer uses it to write the cache while the
+    run is still in flight).
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+
+    def finalize(index: int, record: Dict[str, Any], attempt: int) -> None:
+        record["attempts"] = attempt
+        results[index] = record
+        tracer.count("engine.tasks_run")
+        if record["status"] == "error":
+            tracer.count("engine.errors")
+        if on_record is not None:
+            on_record(record)
+
+    if workers == 0:
+        for index, spec in enumerate(specs):
+            finalize(index, _guarded_run(spec), attempt=1)
+        return [r for r in results if r is not None]
+
+    ctx = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+    # queue entries: (index, spec, attempt, not_before)
+    pending = deque((i, spec, 1, 0.0) for i, spec in enumerate(specs))
+    running: List[_Running] = []
+
+    def launch(index: int, spec: TaskSpec, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker, args=(child_conn, spec.as_dict()), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = None if timeout is None else now + timeout
+        running.append(
+            _Running(index, spec, attempt, proc, parent_conn, deadline, now)
+        )
+
+    def settle_failure(state: _Running, status: str) -> None:
+        """A timeout or crash: retry with backoff, or finalize."""
+        if status == "timeout":
+            tracer.count("engine.timeouts")
+        else:
+            tracer.count("engine.crashes")
+        elapsed = time.monotonic() - state.t0
+        if state.attempt <= retries:
+            tracer.count("engine.retries")
+            pending.append(
+                (state.index, state.spec, state.attempt + 1,
+                 time.monotonic() + backoff * state.attempt)
+            )
+            return
+        record = _failure_record(
+            state.spec, status,
+            error=f"{status} after {state.attempt} attempts",
+            seconds=elapsed,
+        )
+        finalize(state.index, record, state.attempt)
+
+    def reap(state: _Running) -> None:
+        state.conn.close()
+        state.proc.join(timeout=1.0)
+        if state.proc.is_alive():
+            state.proc.kill()
+            state.proc.join()
+        running.remove(state)
+
+    while pending or running:
+        now = time.monotonic()
+        # launch ready work into free slots
+        for _ in range(len(pending)):
+            if len(running) >= workers:
+                break
+            index, spec, attempt, not_before = pending[0]
+            if not_before > now:
+                pending.rotate(-1)
+                continue
+            pending.popleft()
+            launch(index, spec, attempt)
+        if not running:
+            time.sleep(_POLL_SECONDS)
+            continue
+        ready = multiprocessing.connection.wait(
+            [state.conn for state in running], timeout=_POLL_SECONDS
+        )
+        for conn in ready:
+            state = next(s for s in running if s.conn is conn)
+            try:
+                record = conn.recv()
+            except (EOFError, OSError):
+                # the pipe closed without a record: the worker died
+                reap(state)
+                settle_failure(state, "crashed")
+                continue
+            reap(state)
+            finalize(state.index, record, state.attempt)
+        now = time.monotonic()
+        for state in list(running):
+            if state.deadline is not None and now > state.deadline:
+                state.proc.terminate()
+                reap(state)
+                settle_failure(state, "timeout")
+            elif not state.proc.is_alive():
+                # died without a message and without closing the pipe
+                # cleanly enough for wait() to notice yet
+                if state.conn.poll():
+                    continue  # a record is waiting; next loop reads it
+                reap(state)
+                settle_failure(state, "crashed")
+    return [r for r in results if r is not None]

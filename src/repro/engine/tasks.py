@@ -1,0 +1,394 @@
+"""Declarative task specs and the in-process task executor.
+
+A :class:`TaskSpec` is the unit of work of the campaign engine: an
+instance *generator* (plus its parameters and an **explicit** seed), a
+*strategy* to run on the generated instance, and an optional in-process
+solver budget.  Specs are plain data — JSON-round-trippable, hashable,
+and executable in any worker process — and :func:`task_hash` gives each
+one a stable content address (spec + engine code version) that keys the
+result cache.
+
+Three generator families:
+
+* **instance generators** — ``"pressure"`` and ``"program"`` (the
+  :mod:`repro.challenge.generator` corpus), or a dotted
+  ``"module:function"`` path returning a
+  :class:`~repro.challenge.format.ChallengeInstance`;
+* **custom calls** — ``strategy="call"`` with a dotted generator path:
+  the function is called as ``fn(seed, k, params, tracer, budget)`` and
+  its JSON-serializable return value becomes the task payload (how the
+  theorem benches define their grids);
+* **fault injection** — ``"sleep"`` (hangs for ``params["seconds"]``)
+  and ``"crash"`` (kills the worker process), used by the tests and the
+  docs to demonstrate that the pool contains hangs and crashes as
+  single failed tasks.
+
+:func:`run_task` executes one spec in the current process and returns
+the *task record* (see ``docs/ENGINE.md`` for the schema).  Timeouts
+that require killing a process live in :mod:`repro.engine.pool`; this
+module only handles the cooperative :class:`repro.budget.Budget`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..budget import Budget, BudgetExceeded
+from ..challenge.format import ChallengeInstance
+from ..challenge.generator import pressure_instance, program_instance
+from ..coalescing import TESTS, conservative_coalesce, optimistic_coalesce
+from ..coalescing.aggressive import aggressive_coalesce
+from ..coalescing.base import CoalescingResult
+from ..coalescing.biased import biased_coloring_result
+from ..coalescing.chordal_strategy import chordal_incremental_coalesce
+from ..coalescing.exact import optimal_conservative_coalescing
+from ..obs import NULL_TRACER, Tracer
+
+__all__ = [
+    "ENGINE_VERSION",
+    "TaskSpec",
+    "task_hash",
+    "expand_grid",
+    "execute_strategy",
+    "run_task",
+    "INSTANCE_GENERATORS",
+    "FAULT_GENERATORS",
+    "STRATEGIES",
+]
+
+#: Code-version tag mixed into every task hash.  Bump it whenever task
+#: execution semantics change, so stale cached results are never reused.
+ENGINE_VERSION = "1"
+
+#: Built-in instance generators (see :func:`_generate_instance`).
+INSTANCE_GENERATORS = ("pressure", "program")
+
+#: Fault-injection generators for exercising the pool's containment.
+FAULT_GENERATORS = ("sleep", "crash")
+
+#: Strategies the executor understands, beyond the conservative tests
+#: of :data:`repro.coalescing.TESTS`.  ``"call"`` marks a custom task
+#: whose generator is a dotted callable returning the payload directly.
+EXTRA_STRATEGIES = (
+    "aggressive", "optimistic", "biased", "chordal", "irc",
+    "exact", "exact-kcolorable", "call",
+)
+
+STRATEGIES = tuple(sorted(TESTS)) + EXTRA_STRATEGIES
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of campaign work; plain, hashable, JSON-round-trippable.
+
+    ``seed`` has **no default**: every task must say where its
+    randomness comes from (the engine never falls back to the old
+    silent ``random.Random(0)`` — see
+    :func:`repro.graphs.generators.resolve_rng`).  ``params`` holds the
+    generator-specific knobs (``rounds``, ``margin``, ``num_vars``,
+    ``seconds`` …) as a sorted tuple of pairs so the spec stays
+    hashable; use :meth:`params_dict` to read them.
+    """
+
+    generator: str
+    seed: int
+    k: int = 0
+    strategy: str = "brute"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    max_steps: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(
+                f"TaskSpec seed must be an explicit int, got {self.seed!r}"
+            )
+        if isinstance(self.params, Mapping):
+            object.__setattr__(
+                self, "params", tuple(sorted(self.params.items()))
+            )
+        else:
+            object.__setattr__(
+                self, "params", tuple(sorted(tuple(p) for p in self.params))
+            )
+        known = (
+            self.generator in INSTANCE_GENERATORS
+            or self.generator in FAULT_GENERATORS
+            or ":" in self.generator
+        )
+        if not known:
+            raise ValueError(
+                f"unknown generator {self.generator!r} "
+                f"(builtin: {INSTANCE_GENERATORS + FAULT_GENERATORS}; "
+                "custom generators use a dotted 'module:function' path)"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r} (one of {STRATEGIES})"
+            )
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The generator parameters as a plain dict."""
+        return dict(self.params)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "generator": self.generator,
+            "seed": self.seed,
+            "k": self.k,
+            "strategy": self.strategy,
+            "params": self.params_dict(),
+            "max_steps": self.max_steps,
+            "max_seconds": self.max_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskSpec":
+        """Rebuild a spec from :meth:`as_dict` output (or a spec-file
+        entry).  Unknown keys are rejected to catch typos early."""
+        data = dict(data)
+        params = dict(data.pop("params", {}))
+        fields = {"generator", "seed", "k", "strategy",
+                  "max_steps", "max_seconds"}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(f"unknown TaskSpec fields: {sorted(unknown)}")
+        if "seed" not in data:
+            raise ValueError("TaskSpec requires an explicit seed")
+        return cls(params=tuple(sorted(params.items())), **data)
+
+
+def task_hash(spec: TaskSpec) -> str:
+    """Stable content address of a task: spec + engine code version.
+
+    16 hex chars of SHA-256 over the canonical JSON form.  Changing any
+    spec field — or bumping :data:`ENGINE_VERSION` — changes the hash,
+    so the result cache can never serve a stale or mismatched record.
+    """
+    canonical = json.dumps(
+        {"engine": ENGINE_VERSION, **spec.as_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+_SPEC_FIELDS = ("generator", "seed", "k", "strategy",
+                "max_steps", "max_seconds")
+
+
+def expand_grid(
+    grid: Mapping[str, Any],
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> List[TaskSpec]:
+    """Expand a parameter grid into the cartesian product of specs.
+
+    Each grid key maps to a list of values (a scalar counts as a
+    one-element list; a ``{"start": a, "count": n}`` mapping expands to
+    ``range(a, a + n)`` — the usual shape of a seed axis).  Keys that
+    are :class:`TaskSpec` fields set the field; any other key becomes a
+    generator parameter.  ``defaults`` supplies scalar values for axes
+    the grid doesn't sweep.  Axis order (dict insertion order)
+    determines task order, which is part of campaign determinism.
+    """
+    axes: List[Tuple[str, List[Any]]] = []
+    merged: Dict[str, Any] = dict(defaults or {})
+    merged.update(grid)
+    for key, values in merged.items():
+        if isinstance(values, Mapping):
+            start = int(values.get("start", 0))
+            count = int(values["count"])
+            values = list(range(start, start + count))
+        elif not isinstance(values, (list, tuple)):
+            values = [values]
+        axes.append((key, list(values)))
+    specs: List[TaskSpec] = []
+
+    def rec(i: int, chosen: Dict[str, Any]) -> None:
+        if i == len(axes):
+            fields = {k: v for k, v in chosen.items() if k in _SPEC_FIELDS}
+            params = {k: v for k, v in chosen.items() if k not in _SPEC_FIELDS}
+            specs.append(TaskSpec(params=tuple(sorted(params.items())),
+                                  **fields))
+            return
+        key, values = axes[i]
+        for value in values:
+            chosen[key] = value
+            rec(i + 1, chosen)
+        del chosen[key]
+
+    rec(0, {})
+    return specs
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def execute_strategy(
+    graph,
+    k: int,
+    strategy: str,
+    tracer: Tracer = NULL_TRACER,
+    budget: Optional[Budget] = None,
+) -> CoalescingResult:
+    """Run one named coalescing strategy (the CLI shares this dispatch).
+
+    ``budget`` only reaches the strategies that support cooperative
+    budgets (the exact solvers); the heuristics are polynomial and rely
+    on the pool's wall-clock timeout instead.
+    """
+    if strategy == "aggressive":
+        return aggressive_coalesce(graph, tracer=tracer)
+    if strategy == "optimistic":
+        return optimistic_coalesce(graph, k, tracer=tracer)
+    if strategy == "biased":
+        return biased_coloring_result(graph, k, tracer=tracer)
+    if strategy == "chordal":
+        return chordal_incremental_coalesce(graph, k, tracer=tracer)
+    if strategy == "irc":
+        from ..allocator.irc import irc_coalescing_result
+
+        return irc_coalescing_result(graph, k, tracer=tracer)
+    if strategy in ("exact", "exact-kcolorable"):
+        target = "greedy" if strategy == "exact" else "kcolorable"
+        return optimal_conservative_coalescing(
+            graph, k, target=target, budget=budget
+        )
+    return conservative_coalesce(graph, k, test=strategy, tracer=tracer)
+
+
+def _resolve_dotted(path: str) -> Callable:
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"dotted generator must be 'module:function', "
+                         f"got {path!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def _generate_instance(spec: TaskSpec) -> ChallengeInstance:
+    params = spec.params_dict()
+    if spec.generator == "pressure":
+        return pressure_instance(
+            spec.k,
+            int(params.get("rounds", 9)),
+            margin=int(params.get("margin", 0)),
+            copy_fraction=float(params.get("copy_fraction", 0.8)),
+            rng=random.Random(spec.seed),
+            name=f"pressure-s{spec.seed}",
+        )
+    if spec.generator == "program":
+        return program_instance(
+            spec.seed,
+            spec.k,
+            num_vars=int(params.get("num_vars", 12)),
+            name=f"program-s{spec.seed}",
+        )
+    fn = _resolve_dotted(spec.generator)
+    instance = fn(seed=spec.seed, k=spec.k, **params)
+    if not isinstance(instance, ChallengeInstance):
+        raise TypeError(
+            f"{spec.generator} returned {type(instance).__name__}, "
+            "expected ChallengeInstance"
+        )
+    return instance
+
+
+def _coalesce_payload(
+    instance: ChallengeInstance, result: CoalescingResult
+) -> Dict[str, Any]:
+    return {
+        "instance": instance.name,
+        "vertices": len(instance.graph),
+        "edges": instance.graph.num_edges(),
+        "affinities": instance.graph.num_affinities(),
+        "coalesced": result.num_coalesced,
+        "coalesced_weight": result.coalesced_weight,
+        "residual_weight": result.residual_weight,
+        "coalesced_pairs": sorted(
+            [str(u), str(v)] for u, v, _ in result.coalesced
+        ),
+    }
+
+
+def _result_hash(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def run_task(spec: TaskSpec) -> Dict[str, Any]:
+    """Execute one task in the current process; return its record.
+
+    Deterministic outcomes — success and :exc:`BudgetExceeded` — are
+    turned into records here (statuses ``ok`` / ``budget_exceeded``).
+    Any other exception propagates to the caller: the pool wraps it
+    into an ``error`` record, and hangs/crashes are detected from
+    outside the process (statuses ``timeout`` / ``crashed``).
+
+    The record's ``result_hash`` covers only the semantic payload
+    (never timings), so identical specs hash identically no matter how
+    many workers ran the campaign.
+    """
+    key = task_hash(spec)
+    tracer = Tracer()
+    tracer.meta.update(
+        task=key, generator=spec.generator, strategy=spec.strategy,
+        seed=spec.seed, k=spec.k,
+    )
+    budget = None
+    if spec.max_steps is not None or spec.max_seconds is not None:
+        budget = Budget(max_steps=spec.max_steps,
+                        max_seconds=spec.max_seconds)
+    t0 = time.perf_counter()
+    record: Dict[str, Any] = {
+        "schema": 1,
+        "engine": ENGINE_VERSION,
+        "key": key,
+        "task": spec.as_dict(),
+        "attempts": 1,
+        "error": None,
+    }
+    try:
+        if spec.generator == "sleep":
+            time.sleep(float(spec.params_dict().get("seconds", 60.0)))
+            payload: Any = {"slept": float(spec.params_dict().get("seconds", 60.0))}
+        elif spec.generator == "crash":
+            import os
+
+            os._exit(int(spec.params_dict().get("exitcode", 1)))
+        elif spec.strategy == "call":
+            fn = _resolve_dotted(spec.generator)
+            payload = fn(spec.seed, spec.k, spec.params_dict(), tracer, budget)
+        else:
+            instance = _generate_instance(spec)
+            with tracer.span("engine-task"):
+                result = execute_strategy(
+                    instance.graph, spec.k or instance.k, spec.strategy,
+                    tracer=tracer, budget=budget,
+                )
+            payload = _coalesce_payload(instance, result)
+    except BudgetExceeded as exc:
+        record.update(
+            status="budget_exceeded",
+            payload={"reason": exc.reason, "steps": exc.steps},
+            result_hash=None,
+            error=str(exc),
+            seconds=time.perf_counter() - t0,
+            trace=tracer.report(),
+        )
+        return record
+    record.update(
+        status="ok",
+        payload=payload,
+        result_hash=_result_hash(payload),
+        seconds=time.perf_counter() - t0,
+        trace=tracer.report(),
+    )
+    return record

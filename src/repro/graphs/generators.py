@@ -26,11 +26,44 @@ from .graph import Graph, Vertex
 from .interference import InterferenceGraph
 
 
+def resolve_rng(
+    rng: Optional[random.Random],
+    seed: Optional[int],
+    who: str,
+) -> random.Random:
+    """Resolve the ``rng``/``seed`` pair every random generator takes.
+
+    Exactly one of the two must be given.  The generators used to fall
+    back to ``random.Random(0)`` silently, which made two "independent"
+    corpus shards generate *identical* instances — a footgun the
+    :mod:`repro.engine` task specs must never hit, so the default is
+    now an error rather than a fixed seed.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ValueError(f"{who}: pass either rng= or seed=, not both")
+        return rng
+    if seed is None:
+        raise ValueError(
+            f"{who}: pass rng= or seed= explicitly (the old silent "
+            "random.Random(0) default made independent corpora identical)"
+        )
+    return random.Random(seed)
+
+
 def random_graph(
-    n: int, p: float, rng: Optional[random.Random] = None, prefix: str = "v"
+    n: int,
+    p: float,
+    rng: Optional[random.Random] = None,
+    prefix: str = "v",
+    seed: Optional[int] = None,
 ) -> Graph:
-    """Erdős–Rényi G(n, p) over vertices ``prefix0 .. prefix{n-1}``."""
-    rng = rng or random.Random(0)
+    """Erdős–Rényi G(n, p) over vertices ``prefix0 .. prefix{n-1}``.
+
+    Randomness must be explicit: pass ``rng=`` or ``seed=`` (see
+    :func:`resolve_rng`).
+    """
+    rng = resolve_rng(rng, seed, "random_graph")
     g = Graph(vertices=[f"{prefix}{i}" for i in range(n)])
     names = list(g.vertices)
     for i in range(n):
@@ -45,6 +78,7 @@ def random_chordal_graph(
     max_clique: int,
     rng: Optional[random.Random] = None,
     prefix: str = "v",
+    seed: Optional[int] = None,
 ) -> Graph:
     """A random chordal graph as the intersection graph of subtrees.
 
@@ -53,8 +87,9 @@ def random_chordal_graph(
     subtrees intersect (the Golumbic Thm 4.8 characterization, which is
     also how SSA live ranges sit on the dominance tree).  ``max_clique``
     caps how many subtrees may cover one tree node, bounding ω(G).
+    Randomness must be explicit: pass ``rng=`` or ``seed=``.
     """
-    rng = rng or random.Random(0)
+    rng = resolve_rng(rng, seed, "random_chordal_graph")
     if n == 0:
         return Graph()
     t = max(1, 2 * n)
@@ -98,10 +133,12 @@ def random_interval_graph(
     max_len: int = 20,
     rng: Optional[random.Random] = None,
     prefix: str = "v",
+    seed: Optional[int] = None,
 ) -> Graph:
     """A random interval graph (a chordal subclass; models straight-line
-    code live ranges)."""
-    rng = rng or random.Random(0)
+    code live ranges).  Randomness must be explicit: ``rng=`` or
+    ``seed=``."""
+    rng = resolve_rng(rng, seed, "random_interval_graph")
     intervals: List[Tuple[int, int]] = []
     for _ in range(n):
         a = rng.randrange(span)

@@ -136,6 +136,30 @@ class Tracer:
             "dropped_events": self._dropped_events,
         }
 
+    def absorb(self, report: Dict[str, Any]) -> None:
+        """Merge a report dict's counters and spans into this tracer.
+
+        The streaming counterpart of
+        :func:`repro.obs.export.merged_report`: a long-running
+        orchestrator (the campaign engine) absorbs each worker's report
+        as it arrives instead of holding them all.  Events are *not*
+        absorbed — they are per-run evidence with their own timelines —
+        but dropped-event counts carry over.  No-op on
+        :class:`NullTracer`.
+        """
+        if not self.enabled:
+            return
+        for name, value in report.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for span in report.get("spans", []):
+            stat = self._spans.get(span["name"])
+            if stat is None:
+                self._spans[span["name"]] = [span["calls"], span["seconds"]]
+            else:
+                stat[0] += span["calls"]
+                stat[1] += span["seconds"]
+        self._dropped_events += report.get("dropped_events", 0)
+
     def clear(self) -> None:
         """Reset all collected data (the clock restarts too)."""
         self.counters.clear()

@@ -27,15 +27,21 @@ def certificate(graph: Graph, k: int) -> Optional[Dict[Vertex, int]]:
 
 
 def random_hard_instance(
-    n: int, k: int, rng: Optional[random.Random] = None
+    n: int,
+    k: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
 ) -> Graph:
     """A random graph near the k-colorability threshold.
 
     Erdős–Rényi with edge probability tuned so that roughly half the
     instances are k-colorable — the interesting regime for exercising
-    both branches of the Theorem 3 equivalence.
+    both branches of the Theorem 3 equivalence.  Pass ``rng=`` or
+    ``seed=`` explicitly.
     """
-    rng = rng or random.Random(0)
+    from ..graphs.generators import resolve_rng
+
+    rng = resolve_rng(rng, seed, "random_hard_instance")
     # average degree ≈ k ln k sits near the chromatic threshold
     import math
 

@@ -91,10 +91,13 @@ def random_instance(
     p: float,
     num_terminals: int = 3,
     rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
 ) -> MultiwayCutInstance:
-    """A random Erdős–Rényi multiway-cut instance."""
-    rng = rng or random.Random(0)
-    from ..graphs.generators import random_graph
+    """A random Erdős–Rényi multiway-cut instance (pass ``rng=`` or
+    ``seed=``; see :func:`repro.graphs.generators.resolve_rng`)."""
+    from ..graphs.generators import random_graph, resolve_rng
+
+    rng = resolve_rng(rng, seed, "random_instance")
 
     g = random_graph(n, p, rng)
     names = list(g.vertices)

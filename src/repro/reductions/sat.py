@@ -11,6 +11,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..budget import Budget
+
 Literal = int
 Clause = Tuple[Literal, ...]
 
@@ -51,11 +53,16 @@ class CNF:
         return {len(c) for c in self.clauses}
 
 
-def solve_dpll(cnf: CNF) -> Optional[Dict[int, bool]]:
+def solve_dpll(
+    cnf: CNF, budget: Optional[Budget] = None
+) -> Optional[Dict[int, bool]]:
     """A satisfying assignment by DPLL with unit propagation, or None.
 
     Plain but complete: unit propagation, pure-literal elimination at
-    the root, most-frequent-variable branching.
+    the root, most-frequent-variable branching.  An optional
+    :class:`repro.budget.Budget` is checked at every branching node and
+    raises :exc:`repro.budget.BudgetExceeded` when spent, so a hard
+    formula cannot stall a whole experiment sweep.
     """
     assignment: Dict[int, bool] = {}
 
@@ -91,6 +98,8 @@ def solve_dpll(cnf: CNF) -> Optional[Dict[int, bool]]:
         return clauses
 
     def solve(clauses: List[Clause]) -> bool:
+        if budget is not None:
+            budget.check()
         clauses = propagate(clauses)  # type: ignore[assignment]
         if clauses is None:
             return False
@@ -117,9 +126,9 @@ def solve_dpll(cnf: CNF) -> Optional[Dict[int, bool]]:
     return None
 
 
-def is_satisfiable(cnf: CNF) -> bool:
+def is_satisfiable(cnf: CNF, budget: Optional[Budget] = None) -> bool:
     """Decision form of :func:`solve_dpll`."""
-    return solve_dpll(cnf) is not None
+    return solve_dpll(cnf, budget=budget) is not None
 
 
 def three_sat_to_four_sat(cnf: CNF) -> Tuple[CNF, int]:
@@ -143,9 +152,16 @@ def random_3sat(
     num_vars: int,
     num_clauses: int,
     rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
 ) -> CNF:
-    """A random 3SAT instance with distinct variables per clause."""
-    rng = rng or random.Random(0)
+    """A random 3SAT instance with distinct variables per clause.
+
+    Randomness must be explicit — pass ``rng=`` or ``seed=`` (see
+    :func:`repro.graphs.generators.resolve_rng`).
+    """
+    from ..graphs.generators import resolve_rng
+
+    rng = resolve_rng(rng, seed, "random_3sat")
     if num_vars < 3:
         raise ValueError("need at least 3 variables")
     cnf = CNF(num_vars=num_vars)

@@ -74,10 +74,13 @@ def random_low_degree_graph(
     max_degree: int = 3,
     rng: Optional[random.Random] = None,
     prefix: str = "v",
+    seed: Optional[int] = None,
 ) -> Graph:
     """A random graph with maximum degree ≤ ``max_degree`` (default 3,
-    the Theorem 6 restriction)."""
-    rng = rng or random.Random(0)
+    the Theorem 6 restriction).  Pass ``rng=`` or ``seed=`` explicitly."""
+    from ..graphs.generators import resolve_rng
+
+    rng = resolve_rng(rng, seed, "random_low_degree_graph")
     g = Graph(vertices=[f"{prefix}{i}" for i in range(n)])
     names = list(g.vertices)
     attempts = 0

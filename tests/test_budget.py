@@ -1,0 +1,82 @@
+"""Tests for repro.budget and the cooperative hooks in the exact
+solvers (coalescing.exact, reductions.sat)."""
+
+import itertools
+import random
+import time
+
+import pytest
+
+from repro.budget import Budget, BudgetExceeded
+from repro.challenge.generator import pressure_instance
+from repro.coalescing.exact import optimal_conservative_coalescing
+from repro.reductions.sat import CNF, is_satisfiable, solve_dpll
+
+
+class TestBudget:
+    def test_step_budget_raises(self):
+        budget = Budget(max_steps=10)
+        for _ in range(10):
+            budget.check()
+        with pytest.raises(BudgetExceeded) as exc:
+            budget.check()
+        assert exc.value.reason == "steps"
+        assert exc.value.steps == 11
+
+    def test_deadline_raises(self):
+        budget = Budget(max_seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceeded) as exc:
+            for _ in range(10_000):
+                budget.check()
+        assert exc.value.reason == "deadline"
+
+    def test_unlimited_never_raises(self):
+        budget = Budget()
+        for _ in range(5_000):
+            budget.check()
+        assert not budget.exhausted()
+
+    def test_exhausted_without_raising(self):
+        budget = Budget(max_steps=1)
+        assert not budget.exhausted()
+        budget.check()
+        assert budget.exhausted()
+        deadline = Budget(max_seconds=0.005)
+        time.sleep(0.01)
+        assert deadline.exhausted()
+
+    def test_is_runtime_error(self):
+        assert issubclass(BudgetExceeded, RuntimeError)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_steps=0)
+        with pytest.raises(ValueError):
+            Budget(max_seconds=-1.0)
+
+
+class TestSolverHooks:
+    def test_exact_coalescing_budget(self):
+        inst = pressure_instance(5, 7, rng=random.Random(3))
+        with pytest.raises(BudgetExceeded):
+            optimal_conservative_coalescing(
+                inst.graph, inst.k, budget=Budget(max_steps=5)
+            )
+
+    def test_exact_coalescing_generous_budget_matches(self):
+        inst = pressure_instance(4, 4, rng=random.Random(1))
+        free = optimal_conservative_coalescing(inst.graph, inst.k)
+        bounded = optimal_conservative_coalescing(
+            inst.graph, inst.k, budget=Budget(max_steps=10_000_000)
+        )
+        assert free.residual_weight == bounded.residual_weight
+
+    def test_dpll_budget(self):
+        cnf = CNF(num_vars=3)
+        for signs in itertools.product((1, -1), repeat=3):
+            cnf.add_clause((signs[0] * 1, signs[1] * 2, signs[2] * 3))
+        with pytest.raises(BudgetExceeded):
+            solve_dpll(cnf, budget=Budget(max_steps=1))
+        # a generous budget changes nothing
+        assert is_satisfiable(cnf, budget=Budget(max_steps=10_000)) is False

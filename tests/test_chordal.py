@@ -72,12 +72,12 @@ class TestChordalityKnownGraphs:
 
 class TestPEO:
     def test_mcs_covers_all(self):
-        g = random_chordal_graph(12, 4)
+        g = random_chordal_graph(12, 4, seed=0)
         order = maximum_cardinality_search(g)
         assert sorted(map(str, order)) == sorted(map(str, g.vertices))
 
     def test_peo_of_chordal(self):
-        g = random_chordal_graph(15, 4)
+        g = random_chordal_graph(15, 4, seed=0)
         order = perfect_elimination_ordering(g)
         assert order is not None
         assert is_perfect_elimination_ordering(g, order)
@@ -204,7 +204,7 @@ class TestMakeChordal:
                 assert f.has_edge(u, v)
 
     def test_chordal_unchanged(self):
-        g = random_chordal_graph(12, 3)
+        g = random_chordal_graph(12, 3, seed=0)
         f = make_chordal(g)
         assert f.num_edges() == g.num_edges()
 

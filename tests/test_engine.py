@@ -1,0 +1,339 @@
+"""Tests for the repro.engine campaign subsystem: task specs and
+hashes, the result cache, pool fault tolerance (timeout/retry/crash),
+and campaign semantics (cache hits, resume, determinism)."""
+
+import json
+import random
+
+import pytest
+
+from repro.engine import (
+    Campaign,
+    ResultCache,
+    TaskSpec,
+    campaign_status,
+    expand_grid,
+    run_campaign,
+    run_task,
+    run_tasks,
+    task_hash,
+)
+from repro.engine.campaign import load_campaign
+from repro.obs import Tracer
+
+
+def boom_task(seed, k, params, tracer, budget):
+    """Custom task that always fails (deterministic error path)."""
+    raise ValueError(f"boom {seed}")
+
+
+def row_task(seed, k, params, tracer, budget):
+    """Custom task returning a deterministic payload."""
+    if tracer is not None:
+        tracer.count("test.rows")
+    return {"seed": seed, "k": k, "value": seed * 10 + params.get("off", 0)}
+
+
+# ----------------------------------------------------------------------
+# task specs and hashing
+# ----------------------------------------------------------------------
+class TestTaskSpec:
+    def test_seed_is_required_and_int(self):
+        with pytest.raises(TypeError):
+            TaskSpec(generator="pressure")  # no seed at all
+        with pytest.raises(ValueError):
+            TaskSpec(generator="pressure", seed=None)
+        with pytest.raises(ValueError):
+            TaskSpec(generator="pressure", seed=True)
+        with pytest.raises(ValueError):
+            TaskSpec.from_dict({"generator": "pressure", "k": 6})
+
+    def test_unknown_generator_and_strategy(self):
+        with pytest.raises(ValueError):
+            TaskSpec(generator="nope", seed=0)
+        with pytest.raises(ValueError):
+            TaskSpec(generator="pressure", seed=0, strategy="nope")
+
+    def test_params_mapping_normalized(self):
+        a = TaskSpec(generator="pressure", seed=0, params={"b": 2, "a": 1})
+        b = TaskSpec(generator="pressure", seed=0,
+                     params=(("a", 1), ("b", 2)))
+        assert a == b
+        assert a.params_dict() == {"a": 1, "b": 2}
+
+    def test_round_trip(self):
+        spec = TaskSpec(generator="program", seed=7, k=5,
+                        strategy="optimistic", params={"num_vars": 9},
+                        max_seconds=2.0)
+        again = TaskSpec.from_dict(spec.as_dict())
+        assert again == spec
+        assert task_hash(again) == task_hash(spec)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            TaskSpec.from_dict({"generator": "pressure", "seed": 0,
+                                "typo_field": 1})
+
+    def test_hash_sensitivity(self):
+        base = TaskSpec(generator="pressure", seed=0, k=6, strategy="briggs")
+        assert task_hash(base) == task_hash(
+            TaskSpec(generator="pressure", seed=0, k=6, strategy="briggs")
+        )
+        for other in [
+            TaskSpec(generator="pressure", seed=1, k=6, strategy="briggs"),
+            TaskSpec(generator="pressure", seed=0, k=7, strategy="briggs"),
+            TaskSpec(generator="pressure", seed=0, k=6, strategy="brute"),
+            TaskSpec(generator="pressure", seed=0, k=6, strategy="briggs",
+                     params={"rounds": 5}),
+            TaskSpec(generator="pressure", seed=0, k=6, strategy="briggs",
+                     max_seconds=1.0),
+        ]:
+            assert task_hash(other) != task_hash(base)
+
+
+class TestExpandGrid:
+    def test_cartesian_product_with_defaults(self):
+        specs = expand_grid(
+            {"seed": {"count": 3}, "strategy": ["briggs", "brute"]},
+            {"generator": "pressure", "k": 6, "rounds": 7},
+        )
+        assert len(specs) == 6
+        assert all(s.k == 6 for s in specs)
+        assert all(s.params_dict()["rounds"] == 7 for s in specs)
+        assert sorted({s.seed for s in specs}) == [0, 1, 2]
+
+    def test_seed_range_sugar(self):
+        specs = expand_grid({"seed": {"start": 5, "count": 2}},
+                            {"generator": "pressure", "k": 4})
+        assert [s.seed for s in specs] == [5, 6]
+
+    def test_scalar_axis(self):
+        specs = expand_grid({"seed": 3}, {"generator": "pressure", "k": 4})
+        assert len(specs) == 1 and specs[0].seed == 3
+
+
+# ----------------------------------------------------------------------
+# task execution
+# ----------------------------------------------------------------------
+class TestRunTask:
+    def test_ok_record(self):
+        spec = TaskSpec(generator="pressure", seed=2, k=6,
+                        strategy="briggs", params={"rounds": 5})
+        record = run_task(spec)
+        assert record["status"] == "ok"
+        assert record["key"] == task_hash(spec)
+        assert record["payload"]["vertices"] > 0
+        assert record["result_hash"]
+        assert record["trace"]["counters"]["affinities.total"] > 0
+
+    def test_custom_call(self):
+        spec = TaskSpec(generator="tests.test_engine:row_task",
+                        strategy="call", seed=4, k=2, params={"off": 3})
+        record = run_task(spec)
+        assert record["status"] == "ok"
+        assert record["payload"] == {"seed": 4, "k": 2, "value": 43}
+        assert record["trace"]["counters"]["test.rows"] == 1
+
+    def test_budget_exceeded_is_a_result(self):
+        spec = TaskSpec(generator="pressure", seed=3, k=5,
+                        strategy="exact", params={"rounds": 7},
+                        max_steps=5)
+        record = run_task(spec)
+        assert record["status"] == "budget_exceeded"
+        assert record["payload"]["reason"] == "steps"
+        assert record["result_hash"] is None
+
+    def test_result_hash_excludes_timing(self):
+        spec = TaskSpec(generator="program", seed=1, k=5, strategy="brute")
+        a, b = run_task(spec), run_task(spec)
+        assert a["result_hash"] == b["result_hash"]
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_roundtrip_and_keys(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("ab" * 8) is None
+        record = {"key": "ab" * 8, "status": "ok"}
+        cache.put("ab" * 8, record)
+        assert cache.get("ab" * 8) == record
+        assert list(cache.keys()) == ["ab" * 8]
+        assert len(cache) == 1
+        assert cache.delete("ab" * 8)
+        assert not cache.delete("ab" * 8)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 8
+        cache.put(key, {"key": key, "status": "ok"})
+        cache.path(key).write_text("{not json")
+        assert cache.get(key) is None
+        # and a record whose key field disagrees is also a miss
+        cache.put(key, {"key": "ff" * 8, "status": "ok"})
+        assert cache.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# pool fault tolerance
+# ----------------------------------------------------------------------
+class TestPool:
+    def test_inline_error_record(self):
+        spec = TaskSpec(generator="tests.test_engine:boom_task",
+                        strategy="call", seed=1)
+        tracer = Tracer()
+        [record] = run_tasks([spec], workers=0, tracer=tracer)
+        assert record["status"] == "error"
+        assert "boom 1" in record["error"]
+        assert tracer.counters["engine.errors"] == 1
+
+    def test_timeout_retry_failed_accounting(self):
+        spec = TaskSpec(generator="sleep", seed=0,
+                        params={"seconds": 30.0})
+        tracer = Tracer()
+        [record] = run_tasks([spec], workers=1, timeout=0.3, retries=2,
+                             backoff=0.05, tracer=tracer)
+        assert record["status"] == "timeout"
+        assert record["attempts"] == 3
+        assert tracer.counters["engine.timeouts"] == 3
+        assert tracer.counters["engine.retries"] == 2
+        assert tracer.counters["engine.tasks_run"] == 1
+
+    def test_crash_contained_and_campaign_completes(self):
+        specs = [
+            TaskSpec(generator="crash", seed=0),
+            TaskSpec(generator="pressure", seed=1, k=6, strategy="briggs",
+                     params={"rounds": 4}),
+            TaskSpec(generator="pressure", seed=2, k=6, strategy="briggs",
+                     params={"rounds": 4}),
+        ]
+        tracer = Tracer()
+        records = run_tasks(specs, workers=2, timeout=30, retries=1,
+                            backoff=0.05, tracer=tracer)
+        assert [r["status"] for r in records] == ["crashed", "ok", "ok"]
+        assert records[0]["attempts"] == 2
+        assert tracer.counters["engine.crashes"] == 2
+
+    def test_records_come_back_in_input_order(self):
+        specs = [TaskSpec(generator="pressure", seed=s, k=6,
+                          strategy="briggs", params={"rounds": 4})
+                 for s in range(6)]
+        records = run_tasks(specs, workers=3, timeout=60)
+        assert [r["task"]["seed"] for r in records] == list(range(6))
+
+
+# ----------------------------------------------------------------------
+# campaign semantics
+# ----------------------------------------------------------------------
+def _campaign(n=8, name="t"):
+    specs = expand_grid(
+        {"seed": {"count": n}, "strategy": ["briggs", "brute"]},
+        {"generator": "pressure", "k": 6, "rounds": 5},
+    )
+    return Campaign(name=name, tasks=specs, workers=0, timeout=60)
+
+
+class TestCampaign:
+    def test_cache_hit_miss_and_resume(self, tmp_path):
+        campaign = _campaign()
+        cache = ResultCache(tmp_path)
+        first = run_campaign(campaign, cache)
+        assert first["cache_hits"] == 0
+        assert first["executed"] == len(campaign.tasks)
+        assert first["by_status"] == {"ok": len(campaign.tasks)}
+        second = run_campaign(campaign, cache)
+        assert second["cache_hits"] == len(campaign.tasks)
+        assert second["executed"] == 0
+        assert second["result_hash"] == first["result_hash"]
+
+    def test_resume_after_interrupt(self, tmp_path):
+        campaign = _campaign()
+        cache = ResultCache(tmp_path)
+        run_campaign(campaign, cache)
+        # simulate an interrupt that lost two records and corrupted one
+        keys = campaign.keys()
+        cache.delete(keys[0])
+        cache.delete(keys[3])
+        cache.path(keys[5]).write_text("truncated")
+        status = campaign_status(campaign, cache)
+        assert status["missing"] == 3  # corrupt reads as missing
+        assert status["would_run"] == 3
+        resumed = run_campaign(campaign, cache)
+        assert resumed["executed"] == 3
+        assert resumed["cache_hits"] == len(campaign.tasks) - 3
+        assert resumed["by_status"] == {"ok": len(campaign.tasks)}
+
+    def test_failed_tasks_rerun_on_resume(self, tmp_path):
+        specs = [TaskSpec(generator="crash", seed=0)] + _campaign(2).tasks
+        campaign = Campaign(name="f", tasks=specs, workers=2,
+                            timeout=30, retries=0)
+        cache = ResultCache(tmp_path)
+        first = run_campaign(campaign, cache)
+        assert first["by_status"]["crashed"] == 1
+        assert first["failed_tasks"] == [task_hash(specs[0])]
+        second = run_campaign(campaign, cache)
+        # the crash re-ran; the ok records were reused
+        assert second["executed"] == 1
+        assert second["cache_hits"] == len(specs) - 1
+
+    def test_budget_exceeded_is_reusable(self, tmp_path):
+        spec = TaskSpec(generator="pressure", seed=3, k=5,
+                        strategy="exact", params={"rounds": 7},
+                        max_steps=5)
+        campaign = Campaign(name="b", tasks=[spec], workers=0)
+        cache = ResultCache(tmp_path)
+        first = run_campaign(campaign, cache)
+        assert first["by_status"] == {"budget_exceeded": 1}
+        assert first["failed_tasks"] == []
+        second = run_campaign(campaign, cache)
+        assert second["cache_hits"] == 1 and second["executed"] == 0
+
+    def test_determinism_across_worker_counts(self, tmp_path):
+        hashes = set()
+        for i, workers in enumerate([0, 1, 3]):
+            campaign = _campaign(name=f"d{i}")
+            cache = ResultCache(tmp_path / str(i))
+            summary = run_campaign(campaign, cache, workers=workers)
+            assert summary["by_status"] == {"ok": len(campaign.tasks)}
+            hashes.add(summary["result_hash"])
+        assert len(hashes) == 1
+
+    def test_summary_artifact_and_counters(self, tmp_path):
+        campaign = _campaign(2)
+        cache = ResultCache(tmp_path)
+        summary = run_campaign(campaign, cache)
+        path = cache.summary_path(campaign.name)
+        assert path.is_file()
+        on_disk = json.loads(path.read_text())
+        assert on_disk["result_hash"] == summary["result_hash"]
+        counters = summary["trace"]["counters"]
+        assert counters["engine.tasks_run"] == len(campaign.tasks)
+        # per-task strategy counters were absorbed into the campaign trace
+        assert counters["moves.attempted"] > 0
+
+    def test_load_campaign_spec_file(self, tmp_path):
+        spec_file = tmp_path / "c.json"
+        spec_file.write_text(json.dumps({
+            "name": "file",
+            "workers": 2,
+            "timeout": 9.0,
+            "defaults": {"generator": "pressure", "k": 6, "rounds": 4},
+            "grid": {"seed": {"count": 2}, "strategy": ["briggs"]},
+            "tasks": [{"generator": "program", "seed": 9, "k": 5,
+                       "strategy": "brute", "num_vars": 8}],
+        }))
+        campaign = load_campaign(str(spec_file))
+        assert campaign.name == "file"
+        assert campaign.workers == 2 and campaign.timeout == 9.0
+        assert len(campaign.tasks) == 3
+        last = campaign.tasks[-1]
+        assert last.generator == "program"
+        # defaults apply to explicit tasks too (rounds rides along)
+        assert last.params_dict() == {"num_vars": 8, "rounds": 4}
+
+    def test_load_campaign_requires_tasks(self, tmp_path):
+        spec_file = tmp_path / "empty.json"
+        spec_file.write_text(json.dumps({"name": "empty"}))
+        with pytest.raises(ValueError):
+            load_campaign(str(spec_file))

@@ -39,7 +39,7 @@ class TestRandomFamilies:
             assert is_chordal(random_chordal_graph(12, 4, random.Random(seed)))
 
     def test_random_chordal_zero(self):
-        assert len(random_chordal_graph(0, 3)) == 0
+        assert len(random_chordal_graph(0, 3, seed=0)) == 0
 
     def test_random_interval_chordal(self):
         for seed in range(5):
