@@ -49,6 +49,11 @@ MODULES = [
     "repro.reductions.optimistic_reduction",
     "repro.challenge.format", "repro.challenge.generator",
     "repro.challenge.scoring",
+    "repro.analysis.diagnostics", "repro.analysis.registry",
+    "repro.analysis.ssa_check", "repro.analysis.liveness_check",
+    "repro.analysis.certificates", "repro.analysis.coalescing_check",
+    "repro.analysis.runner", "repro.analysis.engine_check",
+    "repro.analysis.debug",
     "repro.cli",
 ]
 

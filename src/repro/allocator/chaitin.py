@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..analysis.debug import maybe_check_allocation
 from ..graphs.interference import InterferenceGraph
 from ..ir.cfg import Function
 from ..ir.interference import chaitin_interference, set_frequencies_from_loops
@@ -112,7 +113,7 @@ def chaitin_allocate(
                 graph, k, test_fn, costs, spill_metric, tracer=tracer
             )
         if not actual_spills:
-            return AllocationResult(
+            result = AllocationResult(
                 function=work_func,
                 assignment=assignment,
                 k=k,
@@ -120,6 +121,8 @@ def chaitin_allocate(
                 coalesced_moves=coalesced,
                 iterations=iteration,
             )
+            maybe_check_allocation(result)
+            return result
         total_spilled.extend(actual_spills)
         tracer.count("chaitin.actual_spills", len(actual_spills))
         with tracer.span("chaitin/spill-rewrite"):

@@ -40,6 +40,7 @@ class IRCResult:
 
     @property
     def success(self) -> bool:
+        """True iff the run coloured everything without spilling."""
         return not self.spilled
 
 
@@ -149,6 +150,7 @@ class _IRC:
 
     # ------------------------------------------------------------------
     def simplify(self) -> None:
+        """Remove one low-degree, move-unrelated node onto the stack."""
         v = min(self.simplify_worklist, key=str)
         self.simplify_worklist.discard(v)
         self.select_stack.append(v)
@@ -189,6 +191,7 @@ class _IRC:
         return significant < self.k
 
     def coalesce(self) -> None:
+        """Try one move with the George, then Briggs, conservative test."""
         move = min(self.worklist_moves, key=lambda m: sorted(map(str, m)))
         self.worklist_moves.discard(move)
         x, y = move
@@ -249,6 +252,7 @@ class _IRC:
 
     # ------------------------------------------------------------------
     def freeze(self) -> None:
+        """Give up the moves of one low-degree node so it can simplify."""
         v = min(self.freeze_worklist, key=str)
         self.freeze_worklist.discard(v)
         self.simplify_worklist.add(v)
@@ -273,6 +277,7 @@ class _IRC:
 
     # ------------------------------------------------------------------
     def select_spill(self) -> None:
+        """Optimistically push the cheapest spill candidate."""
         v = min(
             self.spill_worklist,
             key=lambda x: (
@@ -287,6 +292,7 @@ class _IRC:
 
     # ------------------------------------------------------------------
     def assign_colors(self) -> None:
+        """Pop the stack, colouring each node (or marking it spilled)."""
         while self.select_stack:
             v = self.select_stack.pop()
             self.on_stack.discard(v)
@@ -309,6 +315,7 @@ class _IRC:
 
     # ------------------------------------------------------------------
     def run(self) -> IRCResult:
+        """Drive the worklists to exhaustion and return the result."""
         with self.tracer.span("irc/worklists"):
             while (
                 self.simplify_worklist
@@ -372,7 +379,7 @@ def irc_coalescing_result(
     precolored: Optional[Dict[Vertex, int]] = None,
     george_any: bool = False,
     tracer: Tracer = NULL_TRACER,
-):
+) -> CoalescingResult:
     """Run IRC and express its coalescing decisions as a
     :class:`~repro.coalescing.base.CoalescingResult` (so IRC slots into
     the strategy-comparison and CLI machinery)."""

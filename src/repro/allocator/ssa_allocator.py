@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..analysis.debug import maybe_check_allocation
 from ..coalescing.base import CoalescingResult
 from ..coalescing.conservative import conservative_coalesce
 from ..coalescing.optimistic import optimistic_coalesce
@@ -200,6 +201,7 @@ def ssa_allocate(
                 if coloring[u] == coloring[v]
             ),
         )
+        maybe_check_allocation(result)
         return result, stats
     else:
         with tracer.span("ssa/coalesce"):
@@ -234,4 +236,5 @@ def ssa_allocate(
         spilled=spilled,
         coalesced_moves=coalesced_moves,
     )
+    maybe_check_allocation(result)
     return result, stats

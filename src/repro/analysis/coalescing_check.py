@@ -1,0 +1,319 @@
+"""Coalescing and allocation translation-validation passes.
+
+These passes treat a coalescing or a register allocation as a
+*translation* whose output must be re-validated against its input, in
+the spirit of translation validation: nothing the producing algorithm
+claims is trusted, everything is recomputed from the original graph or
+function.
+
+Coalescing (kind ``coalescing``, subject :class:`CoalescingClaim`):
+
+* ``coalescing-validity`` — the partition is well formed (classes are
+  disjoint and cover exactly the vertex set, ``COAL002``) and no class
+  contains two interfering vertices (``COAL001``), the defining
+  property of the paper's coalescing ``f``;
+* ``coalescing-ledger`` — the strategy's bookkeeping matches the
+  partition: every affinity reported as coalesced really has both
+  endpoints in one class (``COAL003``), and externally claimed
+  aggregates (residual weight, coalesced count) match recomputation
+  (``COAL005``);
+* ``coalescing-conservative`` — for strategies that claim
+  conservativeness, the quotient graph :math:`G_f` is
+  greedy-k-colorable, **re-certified** through an explicit elimination
+  order verified by :func:`repro.analysis.certificates.
+  verify_elimination_order` rather than assumed (``COAL004``).  This
+  is the budget-heavy pass: it threads the context budget so
+  campaign-time verification degrades deterministically.
+
+Allocation (kind ``allocation``, duck-typed subject with ``function``,
+``assignment``, ``k``, ``spilled`` attributes — i.e. an
+:class:`repro.allocator.chaitin.AllocationResult`):
+
+* ``allocation-validity`` — interfering variables never share a
+  register (``ALLOC001``), registers lie in ``0..k-1`` (``ALLOC002``),
+  every live non-spilled variable is assigned (``ALLOC003``);
+* ``allocation-spill`` — spill bookkeeping is intact: variables listed
+  as spilled no longer appear in the final code, and memory slots
+  never receive registers (``ALLOC004``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..graphs.greedy import greedy_elimination_order
+from ..graphs.interference import Coalescing, InterferenceGraph
+from ..ir.interference import chaitin_interference
+from .certificates import verify_elimination_order
+from .diagnostics import Diagnostic
+from .registry import AnalysisContext, analysis_pass
+
+__all__ = [
+    "NON_CONSERVATIVE_STRATEGIES",
+    "CoalescingClaim",
+    "claim_from_result",
+]
+
+#: Strategies whose contract does NOT promise a greedy-k-colorable
+#: quotient: aggressive coalescing ignores colorability entirely, and
+#: the ``kcolorable`` exact target optimizes against plain
+#: k-colorability (strictly weaker than greedy-k-colorability, §2.2).
+NON_CONSERVATIVE_STRATEGIES = frozenset({"aggressive", "exact-kcolorable"})
+
+
+@dataclass
+class CoalescingClaim:
+    """What a coalescing strategy claims, packaged for validation.
+
+    ``conservative`` marks strategies whose contract includes keeping
+    the quotient greedy-k-colorable (everything except aggressive
+    coalescing); ``coalesced`` is the strategy's own list of coalesced
+    affinities; ``expected`` optionally carries externally recorded
+    aggregates (e.g. a cached task payload) to cross-check.
+    """
+
+    graph: InterferenceGraph
+    coalescing: Coalescing
+    k: int = 0
+    conservative: bool = False
+    coalesced: Sequence[Tuple[Any, Any, float]] = field(default_factory=list)
+    expected: Optional[Mapping[str, Any]] = None
+
+
+def claim_from_result(result: Any, k: int = 0) -> CoalescingClaim:
+    """Build a claim from a :class:`~repro.coalescing.base.
+    CoalescingResult` (duck-typed to avoid an import cycle with the
+    strategies, which import the debug hooks of this package)."""
+    strategy = getattr(result, "strategy", "")
+    return CoalescingClaim(
+        graph=result.graph,
+        coalescing=result.coalescing,
+        k=k,
+        conservative=strategy not in NON_CONSERVATIVE_STRATEGIES,
+        coalesced=list(getattr(result, "coalesced", ())),
+    )
+
+
+@analysis_pass(
+    "coalescing-validity", "coalescing", codes=("COAL001", "COAL002")
+)
+def check_coalescing_validity(
+    claim: CoalescingClaim, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    """The partition is a valid coalescing: disjoint cover, no class
+    with two interfering vertices."""
+    graph = claim.graph
+    classes = claim.coalescing.classes()
+    seen: Dict[Any, int] = {}
+    for i, cls in enumerate(classes):
+        for v in cls:
+            ctx.check_budget()
+            if v in seen:
+                yield Diagnostic(
+                    "COAL002", "error",
+                    f"{v} appears in more than one coalescing class",
+                    where=str(v), obj=ctx.obj, detail={"vertex": str(v)},
+                )
+            seen[v] = i
+            if v not in graph:
+                yield Diagnostic(
+                    "COAL002", "error",
+                    f"coalescing class contains {v}, not a graph vertex",
+                    where=str(v), obj=ctx.obj, detail={"vertex": str(v)},
+                )
+    for v in graph.vertices:
+        if v not in seen:
+            yield Diagnostic(
+                "COAL002", "error",
+                f"graph vertex {v} is missing from the partition",
+                where=str(v), obj=ctx.obj, detail={"vertex": str(v)},
+            )
+    for cls in classes:
+        members = set(cls)
+        for v in cls:
+            ctx.check_budget()
+            clash = graph.neighbors_view(v) & members if v in graph else set()
+            for u in clash:
+                a, b = sorted((str(u), str(v)))
+                if a == str(v):  # report each pair once
+                    yield Diagnostic(
+                        "COAL001", "error",
+                        f"{a} and {b} interfere but share a coalescing "
+                        "class",
+                        where=f"{a}--{b}", obj=ctx.obj,
+                        detail={"edge": [a, b]},
+                    )
+
+
+@analysis_pass(
+    "coalescing-ledger", "coalescing", codes=("COAL003", "COAL005")
+)
+def check_coalescing_ledger(
+    claim: CoalescingClaim, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    """Bookkeeping matches the partition: coalesced list and aggregates."""
+    coalescing = claim.coalescing
+    for u, v, w in claim.coalesced:
+        ctx.check_budget()
+        if u not in claim.graph or v not in claim.graph \
+                or not coalescing.same_class(u, v):
+            yield Diagnostic(
+                "COAL003", "error",
+                f"affinity ({u}, {v}) reported coalesced but the "
+                "endpoints are in different classes",
+                where=f"{u}--{v}", obj=ctx.obj,
+                detail={"affinity": [str(u), str(v)], "weight": w},
+            )
+    if claim.expected:
+        recomputed: Dict[str, float] = {
+            "residual_weight": coalescing.uncoalesced_weight(),
+            "coalesced_weight": coalescing.coalesced_weight(),
+            "coalesced": claim.graph.num_affinities()
+            - len(coalescing.uncoalesced_affinities()),
+        }
+        for name, actual in recomputed.items():
+            claimed = claim.expected.get(name)
+            if claimed is None:
+                continue
+            if abs(float(claimed) - float(actual)) > 1e-9:
+                yield Diagnostic(
+                    "COAL005", "error",
+                    f"claimed {name} = {claimed} but the partition "
+                    f"yields {actual}",
+                    obj=ctx.obj,
+                    detail={"field": name, "claimed": claimed,
+                            "recomputed": actual},
+                )
+
+
+@analysis_pass("coalescing-conservative", "coalescing", codes=("COAL004",))
+def check_coalescing_conservative(
+    claim: CoalescingClaim, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    """Conservative claims re-certified: G_f greedy-k-colorable, by
+    an explicitly verified elimination order."""
+    if not claim.conservative:
+        return
+    k = claim.k or ctx.k
+    if k <= 0:
+        return  # no register bound to certify against
+    ctx.check_budget()
+    # conservativeness is a *preservation* contract: it only promises a
+    # greedy-k-colorable quotient when the input graph was one
+    _, input_ok = greedy_elimination_order(claim.graph, k)
+    if not input_ok:
+        yield Diagnostic(
+            "COAL004", "info",
+            f"input graph is not greedy-{k}-colorable, so the "
+            "conservative contract is vacuous here",
+            obj=ctx.obj, detail={"k": k},
+        )
+        return
+    try:
+        quotient = claim.coalescing.coalesced_graph()
+    except ValueError:
+        return  # invalid partition; coalescing-validity reports COAL001
+    ctx.check_budget()
+    order, success = greedy_elimination_order(quotient, k)
+    if not success:
+        leftover = sorted(
+            str(v) for v in quotient.vertices
+            if v not in set(order)
+        )
+        yield Diagnostic(
+            "COAL004", "error",
+            f"quotient graph is not greedy-{k}-colorable "
+            f"({len(leftover)} vertices of degree >= {k} remain) — the "
+            "conservative contract is broken",
+            obj=ctx.obj,
+            detail={"k": k, "remaining": leftover[:32]},
+        )
+        return
+    # success claimed by the greedy scheme: re-certify the witness
+    # through the independent verifier instead of trusting it
+    for diag in verify_elimination_order(quotient, order, k, ctx):
+        yield Diagnostic(
+            "COAL004", "error",
+            "elimination-order witness for the quotient failed "
+            f"re-certification: {diag.message}",
+            where=diag.where, obj=ctx.obj, detail=diag.detail,
+        )
+
+
+# ----------------------------------------------------------------------
+# allocation results
+# ----------------------------------------------------------------------
+def _is_memory_slot(v: Any) -> bool:
+    from ..allocator.spill import is_memory_slot
+
+    return is_memory_slot(v)
+
+
+@analysis_pass(
+    "allocation-validity", "allocation",
+    codes=("ALLOC001", "ALLOC002", "ALLOC003"),
+)
+def check_allocation_validity(
+    result: Any, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    """The assignment is a valid coloring of the final code's graph."""
+    func = result.function
+    assignment = result.assignment
+    k = result.k
+    graph = chaitin_interference(func, weighted=False)
+    for u, v in graph.edges():
+        ctx.check_budget()
+        if _is_memory_slot(u) or _is_memory_slot(v):
+            continue
+        cu, cv = assignment.get(u), assignment.get(v)
+        if cu is None or cv is None:
+            missing = u if cu is None else v
+            yield Diagnostic(
+                "ALLOC003", "error",
+                f"interfering variable {missing} has no register",
+                where=str(missing), obj=func.name,
+                detail={"vertex": str(missing)},
+            )
+        elif cu == cv:
+            a, b = sorted((str(u), str(v)))
+            yield Diagnostic(
+                "ALLOC001", "error",
+                f"{a} and {b} interfere but share register r{cu}",
+                where=f"{a}--{b}", obj=func.name,
+                detail={"edge": [a, b], "register": cu},
+            )
+    for v, c in assignment.items():
+        if not isinstance(c, int) or not 0 <= c < k:
+            yield Diagnostic(
+                "ALLOC002", "error",
+                f"{v} got out-of-range register r{c}",
+                where=str(v), obj=func.name,
+                detail={"vertex": str(v), "register": c, "k": k},
+            )
+
+
+@analysis_pass("allocation-spill", "allocation", codes=("ALLOC004",))
+def check_allocation_spill(
+    result: Any, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    """Spill bookkeeping: spilled variables rewritten away, memory
+    slots never in registers."""
+    func = result.function
+    ctx.check_budget()
+    final_vars = func.variables()
+    for v in getattr(result, "spilled", ()):
+        if v in final_vars:
+            yield Diagnostic(
+                "ALLOC004", "error",
+                f"{v} is recorded as spilled but still appears in the "
+                "final code",
+                where=str(v), obj=func.name, detail={"vertex": str(v)},
+            )
+    for v in result.assignment:
+        if _is_memory_slot(v):
+            yield Diagnostic(
+                "ALLOC004", "error",
+                f"memory slot {v} was assigned a register",
+                where=str(v), obj=func.name, detail={"vertex": str(v)},
+            )

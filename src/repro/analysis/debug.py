@@ -1,0 +1,90 @@
+"""Opt-in debug assertions routed through the analysis passes.
+
+Set ``REPRO_DEBUG_CHECKS=1`` in the environment and every coalescing
+strategy and allocator re-validates its own output through the same
+passes ``repro check`` runs, raising :exc:`AnalysisAssertionError` on
+the first error-severity diagnostic.  With the variable unset (the
+default) the hooks cost one cached boolean test.
+
+The hooks live here — not inline in ``allocator/``/``coalescing/`` —
+so the producing modules depend on one tiny, import-cycle-free module
+(:mod:`repro.analysis.debug` imports the heavy pass machinery lazily,
+only when checks are enabled and actually fire).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional
+
+__all__ = [
+    "AnalysisAssertionError",
+    "debug_checks_enabled",
+    "maybe_check_coalescing_result",
+    "maybe_check_allocation",
+]
+
+_ENV_VAR = "REPRO_DEBUG_CHECKS"
+_enabled: Optional[bool] = None
+
+
+class AnalysisAssertionError(AssertionError):
+    """A debug-mode analysis check failed; carries the diagnostics."""
+
+    def __init__(self, context: str, diagnostics: List[Any]) -> None:
+        from .diagnostics import format_diagnostic
+
+        lines = [format_diagnostic(d) for d in diagnostics]
+        super().__init__(
+            f"{context}: {len(diagnostics)} analysis finding(s)\n  "
+            + "\n  ".join(lines)
+        )
+        self.diagnostics = diagnostics
+
+
+def debug_checks_enabled() -> bool:
+    """True iff ``REPRO_DEBUG_CHECKS`` enables the hooks (cached)."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get(_ENV_VAR, "") not in ("", "0", "false")
+    return _enabled
+
+
+def _reset_cache() -> None:
+    """Forget the cached env-var state (tests flip the variable)."""
+    global _enabled
+    _enabled = None
+
+
+def maybe_check_coalescing_result(result: Any, k: int = 0) -> None:
+    """If debug checks are on, translation-validate a coalescing
+    result and raise on error-severity findings."""
+    if not debug_checks_enabled():
+        return
+    from .runner import check_coalescing_result
+
+    diagnostics = [
+        d for d in check_coalescing_result(result, k=k)
+        if d.severity == "error"
+    ]
+    if diagnostics:
+        raise AnalysisAssertionError(
+            f"coalescing strategy {getattr(result, 'strategy', '?')!r}",
+            diagnostics,
+        )
+
+
+def maybe_check_allocation(result: Any) -> None:
+    """If debug checks are on, validate an allocation result and raise
+    on error-severity findings."""
+    if not debug_checks_enabled():
+        return
+    from .runner import check_allocation
+
+    diagnostics = [
+        d for d in check_allocation(result) if d.severity == "error"
+    ]
+    if diagnostics:
+        raise AnalysisAssertionError(
+            f"allocator output for {result.function.name!r}", diagnostics
+        )

@@ -1,0 +1,178 @@
+"""Campaign-time verification: certify engine task records.
+
+:func:`verify_record` is the bridge between the campaign engine and
+the analysis passes.  Given a task spec and its record, it regenerates
+the instance **from the spec's seed** (the same path the worker took),
+rebuilds the claimed coalescing from the payload's ``coalesced_pairs``,
+and translation-validates it: merged classes never interfere
+(``COAL001``/``COAL002``), the recorded aggregates match the partition
+(``COAL005``), and — for conservative strategies — the quotient is
+greedy-k-colorable, re-certified through an explicit elimination-order
+witness (``COAL004``).  A payload that cannot be reconciled with the
+regenerated instance at all (unknown vertices, wrong sizes) is
+``ENG001``.
+
+Verification runs under a deterministic step :class:`~repro.budget.
+Budget` (:data:`VERIFY_MAX_STEPS`), so a pathological instance degrades
+to a ``BUDGET001`` diagnostic and the verification status
+``budget_exceeded`` instead of stalling a worker — mirroring how task
+execution itself treats budgets as results, not failures.
+
+The returned *verification dict* is attached to the task record under
+``record["verification"]``::
+
+    {"status": "certified" | "failed" | "budget_exceeded" | "skipped",
+     "reason": <why, when skipped>,
+     "diagnostics": [<Diagnostic.as_dict()>, ...]}
+
+Verification never changes ``task_hash``/``result_hash``: it is
+metadata about a record, not part of the task's semantic outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..budget import Budget
+from ..graphs.interference import Coalescing
+from ..obs import NULL_TRACER, Tracer
+from .coalescing_check import NON_CONSERVATIVE_STRATEGIES, CoalescingClaim
+from .diagnostics import Diagnostic
+from .registry import AnalysisContext
+from .runner import run_passes
+
+__all__ = ["VERIFY_MAX_STEPS", "verify_record", "certify_payload"]
+
+#: Step budget for one record's verification — deterministic (a step
+#: budget, not a wall-clock one) so cache-verification outcomes are
+#: reproducible across machines.
+VERIFY_MAX_STEPS = 2_000_000
+
+
+
+def _diag_dicts(diagnostics: List[Diagnostic]) -> List[Dict[str, Any]]:
+    return [d.as_dict() for d in diagnostics]
+
+
+def certify_payload(
+    instance: Any,
+    payload: Mapping[str, Any],
+    strategy: str,
+    k: int,
+    budget: Optional[Budget] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> List[Diagnostic]:
+    """Re-validate a coalescing task payload against its instance.
+
+    Rebuilds the partition implied by ``payload["coalesced_pairs"]``
+    and runs the ``coalescing`` passes on it with the payload's
+    aggregates as the claimed ledger.
+    """
+    graph = instance.graph
+    by_name = {str(v): v for v in graph.vertices}
+    coalescing = Coalescing(graph)
+    out: List[Diagnostic] = []
+    for pair in payload.get("coalesced_pairs", ()):
+        u_name, v_name = str(pair[0]), str(pair[1])
+        u, v = by_name.get(u_name), by_name.get(v_name)
+        if u is None or v is None:
+            missing = u_name if u is None else v_name
+            out.append(Diagnostic(
+                "ENG001", "error",
+                f"payload coalesces {missing}, which is not a vertex of "
+                "the regenerated instance",
+                where=missing, obj=instance.name,
+                detail={"vertex": missing, "pair": [u_name, v_name]},
+            ))
+            continue
+        try:
+            coalescing.union(u, v)
+        except ValueError:
+            out.append(Diagnostic(
+                "COAL001", "error",
+                f"payload coalesces {u_name} and {v_name}, but that "
+                "merge puts interfering vertices in one class",
+                where=f"{u_name}--{v_name}", obj=instance.name,
+                detail={"pair": [u_name, v_name]},
+            ))
+    claim = CoalescingClaim(
+        graph=graph,
+        coalescing=coalescing,
+        k=k,
+        conservative=strategy not in NON_CONSERVATIVE_STRATEGIES,
+        expected={
+            key: payload[key]
+            for key in ("residual_weight", "coalesced_weight", "coalesced")
+            if key in payload
+        },
+    )
+    ctx = AnalysisContext(k=k, budget=budget, tracer=tracer,
+                          obj=instance.name)
+    out.extend(run_passes(claim, "coalescing", ctx))
+    return out
+
+
+def verify_record(
+    spec: Any,
+    record: Mapping[str, Any],
+    budget: Optional[Budget] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> Dict[str, Any]:
+    """Certify one task record; return the verification dict.
+
+    Fault-injection tasks, custom ``call`` tasks (opaque payloads), and
+    records without an ``ok`` status are skipped, not failed.
+    """
+    from ..engine.tasks import FAULT_GENERATORS, _generate_instance
+
+    status = record.get("status")
+    if status != "ok":
+        return {"status": "skipped",
+                "reason": f"record status is {status!r}",
+                "diagnostics": []}
+    if spec.generator in FAULT_GENERATORS:
+        return {"status": "skipped",
+                "reason": "fault-injection task",
+                "diagnostics": []}
+    if spec.strategy == "call":
+        return {"status": "skipped",
+                "reason": "custom call task has an opaque payload",
+                "diagnostics": []}
+    payload = record.get("payload")
+    if not isinstance(payload, Mapping):
+        return {
+            "status": "failed",
+            "diagnostics": _diag_dicts([Diagnostic(
+                "ENG001", "error",
+                f"ok record has a non-mapping payload ({type(payload).__name__})",
+            )]),
+        }
+    if budget is None:
+        budget = Budget(max_steps=VERIFY_MAX_STEPS)
+    tracer.count("analysis.records_verified")
+    with tracer.span("analysis/verify-record"):
+        instance = _generate_instance(spec)
+        diagnostics: List[Diagnostic] = []
+        claimed_vertices = payload.get("vertices")
+        if claimed_vertices is not None \
+                and claimed_vertices != len(instance.graph):
+            diagnostics.append(Diagnostic(
+                "ENG001", "error",
+                f"payload says {claimed_vertices} vertices but the "
+                f"regenerated instance has {len(instance.graph)}",
+                obj=instance.name,
+                detail={"claimed": claimed_vertices,
+                        "regenerated": len(instance.graph)},
+            ))
+        diagnostics.extend(certify_payload(
+            instance, payload, spec.strategy, spec.k or instance.k,
+            budget=budget, tracer=tracer,
+        ))
+    if any(d.code == "BUDGET001" for d in diagnostics):
+        status_out = "budget_exceeded"
+    elif any(d.severity == "error" for d in diagnostics):
+        status_out = "failed"
+    else:
+        status_out = "certified"
+    reported = [d for d in diagnostics if d.severity != "info"]
+    return {"status": status_out, "diagnostics": _diag_dicts(reported)}

@@ -1,0 +1,147 @@
+"""The analysis-pass registry and the shared analysis context.
+
+A *pass* is a plain function ``fn(subject, ctx) -> Iterable[Diagnostic]``
+registered under a unique name with the :func:`analysis_pass` decorator.
+Passes declare a ``kind`` — what type of subject they check — so the
+runner can select all passes applicable to a function, a graph, a
+certificate, a coalescing, or an allocation result:
+
+========  =======================================================
+kind      subject passed to the pass
+========  =======================================================
+function  :class:`repro.ir.cfg.Function` (structure + strictness)
+ssa       :class:`repro.ir.cfg.Function` in (claimed) strict SSA
+graph     ``(Function, InterferenceGraph)`` pair to cross-check
+certificate  :class:`repro.analysis.certificates.Certificate` witness
+coalescing  :class:`repro.analysis.coalescing_check.CoalescingClaim`
+allocation  an allocation-result-like object (duck-typed)
+========  =======================================================
+
+Passes never mutate their subject, never raise on a *finding* (they
+yield diagnostics instead), and let :exc:`repro.budget.BudgetExceeded`
+escape — the runner converts it into a deterministic ``BUDGET001``
+warning so campaign-time verification degrades instead of stalling.
+
+The :class:`AnalysisContext` carries the cross-cutting knobs: the
+register count ``k``, the optional :class:`~repro.budget.Budget`, the
+:class:`~repro.obs.Tracer`, and mode flags such as ``expect_chordal``
+(the paper-aware strict-SSA mode of the liveness pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..budget import Budget
+from ..obs import NULL_TRACER, Tracer
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "PASS_KINDS",
+    "AnalysisContext",
+    "AnalysisPass",
+    "analysis_pass",
+    "get_pass",
+    "passes_for",
+    "all_passes",
+]
+
+#: The subject kinds a pass may declare.
+PASS_KINDS: Tuple[str, ...] = (
+    "function", "ssa", "graph", "certificate", "coalescing", "allocation",
+)
+
+PassFn = Callable[[Any, "AnalysisContext"], Iterable[Diagnostic]]
+
+
+@dataclass
+class AnalysisContext:
+    """Shared knobs threaded through every pass of one analysis run."""
+
+    k: int = 0
+    expect_chordal: bool = False
+    budget: Optional[Budget] = None
+    tracer: Tracer = NULL_TRACER
+    obj: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def check_budget(self) -> None:
+        """Account one unit of analysis work against the budget."""
+        if self.budget is not None:
+            self.budget.check()
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """A registered pass: metadata plus the checking function."""
+
+    name: str
+    kind: str
+    codes: Tuple[str, ...]
+    doc: str
+    fn: PassFn
+
+    def run(self, subject: Any, ctx: AnalysisContext) -> List[Diagnostic]:
+        """Execute the pass, stamping each diagnostic with the pass name."""
+        out: List[Diagnostic] = []
+        for diag in self.fn(subject, ctx):
+            if diag.passname != self.name:
+                diag = Diagnostic(
+                    code=diag.code,
+                    severity=diag.severity,
+                    message=diag.message,
+                    where=diag.where,
+                    obj=diag.obj or ctx.obj,
+                    passname=self.name,
+                    detail=diag.detail,
+                )
+            out.append(diag)
+        return out
+
+
+_REGISTRY: Dict[str, AnalysisPass] = {}
+
+
+def analysis_pass(
+    name: str, kind: str, codes: Iterable[str] = ()
+) -> Callable[[PassFn], PassFn]:
+    """Register a checking function as a named analysis pass.
+
+    ``codes`` declares the diagnostic codes the pass may emit (used by
+    the docs generator and the CLI pass catalog).  Registering two
+    passes under one name is a programming error and raises.
+    """
+    if kind not in PASS_KINDS:
+        raise ValueError(f"unknown pass kind {kind!r} (one of {PASS_KINDS})")
+
+    def register(fn: PassFn) -> PassFn:
+        if name in _REGISTRY:
+            raise ValueError(f"analysis pass {name!r} already registered")
+        _REGISTRY[name] = AnalysisPass(
+            name=name,
+            kind=kind,
+            codes=tuple(codes),
+            doc=(fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else "",
+            fn=fn,
+        )
+        return fn
+
+    return register
+
+
+def get_pass(name: str) -> AnalysisPass:
+    """Look up one registered pass by name (``KeyError`` if absent)."""
+    return _REGISTRY[name]
+
+
+def passes_for(kind: str) -> List[AnalysisPass]:
+    """All registered passes of one kind, in registration order."""
+    if kind not in PASS_KINDS:
+        raise ValueError(f"unknown pass kind {kind!r} (one of {PASS_KINDS})")
+    return [p for p in _REGISTRY.values() if p.kind == kind]
+
+
+def all_passes() -> List[AnalysisPass]:
+    """Every registered pass, in registration order."""
+    return list(_REGISTRY.values())

@@ -64,7 +64,9 @@ def score(instance: ChallengeInstance, solution: Solution) -> float:
     return total
 
 
-def solution_from_result(instance: ChallengeInstance, result) -> Solution:
+def solution_from_result(
+    instance: ChallengeInstance, result: "CoalescingResult"
+) -> Solution:
     """Turn a :class:`~repro.coalescing.base.CoalescingResult` into a
     scored solution by colouring the quotient greedily."""
     from ..graphs.greedy import greedy_k_coloring

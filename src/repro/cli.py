@@ -30,8 +30,28 @@ Commands
 ``campaign {run,status,resume} SPEC [--workers N] [--cache-dir DIR]``
     Execute an experiment campaign (a JSON spec of task grids) through
     the :mod:`repro.engine` worker pool: parallel, timeout-bounded,
-    crash-isolated, and resumable via the on-disk result cache.  See
+    crash-isolated, and resumable via the on-disk result cache.  With
+    ``--verify`` every result is certified by the analysis passes and
+    the per-task verdicts land in the summary artifact.  See
     ``docs/ENGINE.md``.
+
+``check FILE... [--json] [--severity LEVEL] [--k K]``
+    Run the :mod:`repro.analysis` static checker over challenge files,
+    IR files, or DIMACS graphs (auto-detected per file).  See
+    ``docs/ANALYSIS.md`` for the pass catalog and diagnostic codes.
+
+Exit codes
+----------
+
+Every command uses the same scheme:
+
+* ``0`` — success, no findings;
+* ``1`` — the command ran but found problems (diagnostics at or above
+  the threshold, failed tasks, invalid allocations, failing scores, a
+  strategy that errored on an instance);
+* ``2`` — usage or input errors: a file that is missing, empty, or
+  malformed, a spec that does not parse, a required ``--k`` that was
+  not given.
 """
 
 from __future__ import annotations
@@ -69,20 +89,38 @@ def _print_trace(report: dict, out=None) -> None:
         )
 
 
-def _load(path: str, dimacs: bool):
-    if dimacs:
-        with open(path) as stream:
-            graph = read_dimacs(stream)
-        from .challenge.format import ChallengeInstance
+class _InputError(Exception):
+    """A file that is missing, unreadable, empty, or malformed."""
 
-        return [ChallengeInstance(name=path, k=0, graph=graph)]
-    with open(path) as stream:
-        return load_instances(stream)
+
+def _load(path: str, dimacs: bool, k: int = 0):
+    """Load instances, converting I/O and parse errors to
+    :class:`_InputError` so commands exit 2 instead of tracebacking."""
+    from .challenge.format import ChallengeInstance
+
+    try:
+        if dimacs:
+            with open(path) as stream:
+                graph = read_dimacs(stream)
+            return [ChallengeInstance(name=path, k=k, graph=graph)]
+        with open(path) as stream:
+            instances = load_instances(stream)
+    except OSError as exc:
+        raise _InputError(f"{path}: {exc.strerror or exc}") from exc
+    except ValueError as exc:
+        raise _InputError(f"{path}: {exc}") from exc
+    if not instances:
+        raise _InputError(f"{path}: no instances found (empty file?)")
+    return instances
 
 
 def cmd_info(args: argparse.Namespace) -> int:
     """Describe the instances in a challenge (or DIMACS) file."""
-    instances = _load(args.file, args.dimacs)
+    try:
+        instances = _load(args.file, args.dimacs)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"{'instance':<16} {'|V|':>5} {'|E|':>6} {'|A|':>5} "
           f"{'k':>3} {'chordal':>8} {'col':>4}")
     for inst in instances:
@@ -98,7 +136,11 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_coalesce(args: argparse.Namespace) -> int:
     """Run a coalescing strategy on every instance of a file."""
-    instances = _load(args.file, args.dimacs)
+    try:
+        instances = _load(args.file, args.dimacs)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     status = 0
     trace = getattr(args, "trace", False)
     print(f"{'instance':<16} {'k':>3} {'strategy':<14} "
@@ -114,7 +156,7 @@ def cmd_coalesce(args: argparse.Namespace) -> int:
             result = _run_strategy(inst.graph, k, args.strategy, tracer=tracer)
         except ValueError as exc:
             print(f"{inst.name:<16}  -- {exc}", file=sys.stderr)
-            status = 2
+            status = max(status, 1)
             continue
         print(
             f"{inst.name:<16} {k:>3} {args.strategy:<14} "
@@ -127,7 +169,11 @@ def cmd_coalesce(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a strategy under a tracer and emit a structured report."""
-    instances = _load(args.file, args.dimacs)
+    try:
+        instances = _load(args.file, args.dimacs)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     records = []
     reports = []
     status = 0
@@ -144,7 +190,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             result = _run_strategy(inst.graph, k, args.strategy, tracer=tracer)
         except ValueError as exc:
             print(f"{inst.name}: {exc}", file=sys.stderr)
-            status = 2
+            status = max(status, 1)
             continue
         elapsed = time.perf_counter() - t0
         records.append({
@@ -195,10 +241,21 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_allocate(args: argparse.Namespace) -> int:
     """Register-allocate the IR functions in a file."""
     from .allocator import chaitin_allocate, ssa_allocate
-    from .ir.parser import parse_functions
+    from .ir.parser import IRSyntaxError, parse_functions
 
-    with open(args.file) as stream:
-        functions = parse_functions(stream)
+    try:
+        with open(args.file) as stream:
+            functions = parse_functions(stream)
+    except OSError as exc:
+        print(f"error: {args.file}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except IRSyntaxError as exc:
+        print(f"error: {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if not functions:
+        print(f"error: {args.file}: no functions found (empty file?)",
+              file=sys.stderr)
+        return 2
     status = 0
     trace = getattr(args, "trace", False)
     for func in functions:
@@ -218,7 +275,7 @@ def cmd_allocate(args: argparse.Namespace) -> int:
                 extra = f", phase-2 chordal={stats.chordal}"
         except (ValueError, RuntimeError) as exc:
             print(f"{func.name}: failed ({exc})", file=sys.stderr)
-            status = 2
+            status = max(status, 1)
             continue
         problems = result.verify()
         verdict = "OK" if not problems else f"INVALID ({problems[0]})"
@@ -258,7 +315,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
     """Emit solutions for the instances of a challenge file."""
     from .challenge.scoring import dump_solution, solution_from_result
 
-    instances = _load(args.file, False)
+    try:
+        instances = _load(args.file, False)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     out = open(args.output, "w") if args.output else sys.stdout
     status = 0
     try:
@@ -268,7 +329,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
                 solution = solution_from_result(inst, result)
             except ValueError as exc:
                 print(f"{inst.name}: {exc}", file=sys.stderr)
-                status = 2
+                status = max(status, 1)
                 continue
             dump_solution(solution, out)
     finally:
@@ -281,9 +342,20 @@ def cmd_score(args: argparse.Namespace) -> int:
     """Score a solution file against its instances."""
     from .challenge.scoring import load_solutions, scoreboard
 
-    instances = _load(args.instances, False)
-    with open(args.solutions) as stream:
-        solutions = load_solutions(stream)
+    try:
+        instances = _load(args.instances, False)
+        with open(args.solutions) as stream:
+            solutions = load_solutions(stream)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {args.solutions}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.solutions}: {exc}", file=sys.stderr)
+        return 2
     rows = scoreboard(instances, solutions)
     total = 0.0
     ok = True
@@ -340,6 +412,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        verify=True if args.verify else None,
     )
     if args.output:
         with open(args.output, "w") as stream:
@@ -357,6 +430,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"(workers={summary['workers']})")
         for name, count in summary["by_status"].items():
             print(f"  {name:<16} {count}")
+        verification = summary.get("verification")
+        if verification and verification.get("enabled"):
+            print(f"  verified: {verification['certified']} certified, "
+                  f"{len(verification['failed'])} failed, "
+                  f"{verification['budget_exceeded']} budget-exceeded, "
+                  f"{verification['skipped']} skipped")
+            if verification["failed"]:
+                print("  VERIFICATION FAILED: "
+                      + ", ".join(verification["failed"]))
         counters = summary["trace"]["counters"]
         for name in sorted(c for c in counters if c.startswith("engine.")):
             print(f"  {name:<24} {counters[name]:g}")
@@ -365,12 +447,97 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"  summary artifact {summary['summary_path']}")
         if summary["failed_tasks"]:
             print(f"  FAILED tasks: {', '.join(summary['failed_tasks'])}")
-    return 1 if summary["failed_tasks"] else 0
+    verification = summary.get("verification") or {}
+    if summary["failed_tasks"] or verification.get("failed"):
+        return 1
+    return 0
+
+
+def _sniff_format(path: str) -> str:
+    """Guess a file's format from its first meaningful line."""
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("func "):
+                return "ir"
+            if line.startswith(("c ", "c\t", "p ", "p\t")) or line == "c":
+                return "dimacs"
+            return "challenge"
+    raise _InputError(f"{path}: file is empty")
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the static analysis passes over files (repro.analysis)."""
+    from .analysis import filter_diagnostics, format_diagnostic
+    from .analysis.runner import check_function, check_instance
+    from .budget import Budget
+
+    status = 0
+    file_reports = []
+    total_shown = 0
+    for path in args.files:
+        budget = (Budget(max_steps=args.max_steps)
+                  if args.max_steps else None)
+        diagnostics = []
+        objects = 0
+        try:
+            fmt = "dimacs" if args.dimacs else _sniff_format(path)
+            if fmt == "ir":
+                from .ir.parser import IRSyntaxError, parse_functions
+
+                try:
+                    with open(path) as stream:
+                        functions = parse_functions(stream)
+                except IRSyntaxError as exc:
+                    raise _InputError(f"{path}: {exc}") from exc
+                if not functions:
+                    raise _InputError(f"{path}: no functions found")
+                for func in functions:
+                    objects += 1
+                    diagnostics.extend(check_function(
+                        func, k=args.k, budget=budget,
+                    ))
+            else:
+                for inst in _load(path, fmt == "dimacs", k=args.k):
+                    objects += 1
+                    diagnostics.extend(check_instance(inst, budget=budget))
+        except (_InputError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        shown = filter_diagnostics(diagnostics, args.severity)
+        total_shown += len(shown)
+        file_reports.append({
+            "path": path,
+            "objects": objects,
+            "diagnostics": [d.as_dict() for d in shown],
+        })
+        if shown and status == 0:
+            status = 1
+        if not args.json:
+            verdict = "ok" if not shown else f"{len(shown)} finding(s)"
+            print(f"{path}: {objects} object(s), {verdict}")
+            for diag in shown:
+                print(f"  {format_diagnostic(diag)}")
+    if args.json:
+        json.dump(
+            {"files": file_reports, "total_diagnostics": total_shown,
+             "severity": args.severity},
+            sys.stdout, indent=2, sort_keys=True,
+        )
+        sys.stdout.write("\n")
+    return status
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
     """Render one instance as Graphviz DOT on stdout."""
-    instances = _load(args.file, args.dimacs)
+    try:
+        instances = _load(args.file, args.dimacs)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for inst in instances:
         if args.instance and inst.name != args.instance:
             continue
@@ -464,8 +631,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts for timed-out/crashed tasks")
     p.add_argument("--json", action="store_true",
                    help="emit the summary/status as JSON")
+    p.add_argument("--verify", action="store_true",
+                   help="certify every result through the analysis passes")
     p.add_argument("-o", "--output", help="also write the summary here")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "check",
+        help="run the static analysis passes over files (docs/ANALYSIS.md)",
+    )
+    p.add_argument("files", nargs="+",
+                   help="challenge, IR, or DIMACS files (auto-detected)")
+    p.add_argument("--severity", choices=["error", "warning", "info"],
+                   default="warning",
+                   help="report findings at or above this severity "
+                   "(default warning; info explains clean artifacts too)")
+    p.add_argument("--k", type=int, default=0,
+                   help="register count for DIMACS graphs / IR functions")
+    p.add_argument("--dimacs", action="store_true",
+                   help="force DIMACS parsing for every file")
+    p.add_argument("--max-steps", type=int, default=0,
+                   help="cooperative analysis budget (0 = unlimited)")
+    p.add_argument("--json", action="store_true",
+                   help="emit diagnostics as JSON")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("dot", help="render an instance as Graphviz DOT")
     p.add_argument("file")

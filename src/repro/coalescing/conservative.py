@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Set, Tuple
 from ..graphs.graph import Vertex
 from ..graphs.interference import Coalescing, InterferenceGraph
 from ..graphs.greedy import is_greedy_k_colorable
+from ..analysis.debug import maybe_check_coalescing_result
 from ..obs import NULL_TRACER, Tracer
 from .base import CoalescingResult, affinities_by_weight
 
@@ -209,10 +210,12 @@ def conservative_coalesce(
         for u, v, w in graph.affinities()
         if not coalescing.same_class(u, v)
     ]
-    return CoalescingResult(
+    result = CoalescingResult(
         graph=graph,
         coalescing=coalescing,
         strategy=f"conservative-{test}",
         coalesced=coalesced,
         given_up=given_up,
     )
+    maybe_check_coalescing_result(result, k=k)
+    return result

@@ -21,6 +21,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..analysis.debug import maybe_check_coalescing_result
 from ..graphs.graph import Vertex
 from ..graphs.greedy import dense_subgraph_witness, is_greedy_k_colorable
 from ..graphs.interference import Coalescing, InterferenceGraph
@@ -134,13 +135,15 @@ def optimistic_coalesce(
         for u, v, w in graph.affinities()
         if not coalescing.same_class(u, v)
     ]
-    return CoalescingResult(
+    result = CoalescingResult(
         graph=graph,
         coalescing=coalescing,
         strategy="optimistic",
         coalesced=coalesced,
         given_up=given_up,
     )
+    maybe_check_coalescing_result(result, k=k)
+    return result
 
 
 def _internal_weight(graph: InterferenceGraph, group: Set[Vertex]) -> float:

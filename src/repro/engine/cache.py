@@ -30,7 +30,7 @@ __all__ = ["ResultCache"]
 class ResultCache:
     """A directory of JSON task records addressed by task hash."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root: "Path | str") -> None:
         self.root = Path(root)
 
     def path(self, key: str) -> Path:

@@ -53,6 +53,7 @@ class Campaign:
     timeout: Optional[float] = None
     retries: int = 1
     backoff: float = 0.5
+    verify: bool = False
 
     def keys(self) -> List[str]:
         """The content addresses of every task, in task order."""
@@ -101,6 +102,7 @@ def load_campaign(path: str) -> Campaign:
         timeout=data.get("timeout"),
         retries=int(data.get("retries", 1)),
         backoff=float(data.get("backoff", 0.5)),
+        verify=bool(data.get("verify", False)),
     )
 
 
@@ -147,6 +149,7 @@ def run_campaign(
     retries: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     write_summary: bool = True,
+    verify: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Execute (or resume) a campaign; return the summary dict.
 
@@ -155,18 +158,34 @@ def run_campaign(
     the run loses at most the in-flight tasks.  The summary aggregates
     statuses, cache hits, the engine counters, and the merged
     per-task tracer reports.
+
+    With ``verify`` (default: the campaign's own ``verify`` field),
+    every executed record is certified through the analysis passes
+    inside its worker; cache hits that predate verification are
+    certified here and the upgraded record is written back.  The
+    summary then carries a ``verification`` block with per-status
+    counts and the keys of every failed certification.
     """
     tracer = tracer if tracer is not None else Tracer()
     workers = campaign.workers if workers is None else workers
     timeout = campaign.timeout if timeout is None else timeout
     retries = campaign.retries if retries is None else retries
+    verify = campaign.verify if verify is None else verify
     t0 = time.perf_counter()
 
     records: List[Optional[Dict[str, Any]]] = [None] * len(campaign.tasks)
     to_run: List[int] = []
     for i, spec in enumerate(campaign.tasks):
-        cached = cache.get(task_hash(spec))
+        key = task_hash(spec)
+        cached = cache.get(key)
         if cached is not None and cached.get("status") in REUSABLE_STATUSES:
+            if verify and "verification" not in cached:
+                from ..analysis.engine_check import verify_record
+
+                cached["verification"] = verify_record(
+                    spec, cached, tracer=tracer
+                )
+                cache.put(key, cached)
             records[i] = cached
             tracer.count("engine.cache_hits")
         else:
@@ -183,6 +202,7 @@ def run_campaign(
         backoff=campaign.backoff,
         tracer=tracer,
         on_record=on_record,
+        verify=verify,
     )
     for i, record in zip(to_run, fresh):
         records[i] = record
@@ -222,6 +242,26 @@ def run_campaign(
         "aggregate": aggregate,
         "trace": tracer.report(),
     }
+    if verify:
+        certification: Dict[str, Any] = {
+            "enabled": True,
+            "certified": 0,
+            "failed": [],
+            "budget_exceeded": 0,
+            "skipped": 0,
+        }
+        for record in final:
+            outcome = record.get("verification") or {"status": "skipped"}
+            status = outcome.get("status", "skipped")
+            if status == "certified":
+                certification["certified"] += 1
+            elif status == "failed":
+                certification["failed"].append(record["key"])
+            elif status == "budget_exceeded":
+                certification["budget_exceeded"] += 1
+            else:
+                certification["skipped"] += 1
+        summary["verification"] = certification
     if write_summary:
         path = cache.summary_path(campaign.name)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -51,11 +51,11 @@ RETRYABLE_STATUSES = frozenset({"timeout", "crashed"})
 _POLL_SECONDS = 0.05
 
 
-def _guarded_run(spec: TaskSpec) -> Dict[str, Any]:
+def _guarded_run(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
     """Run one task, converting task-raised exceptions into ``error``
     records (deterministic failures; never retried)."""
     try:
-        return run_task(spec)
+        return run_task(spec, verify=verify)
     except BudgetExceeded:  # run_task already handles this; belt+braces
         raise
     except Exception:
@@ -87,9 +87,9 @@ def _failure_record(
     }
 
 
-def _worker(conn, spec_dict: Dict[str, Any]) -> None:
+def _worker(conn, spec_dict: Dict[str, Any], verify: bool = False) -> None:
     """Subprocess entry point: run the task, ship the record, exit."""
-    record = _guarded_run(TaskSpec.from_dict(spec_dict))
+    record = _guarded_run(TaskSpec.from_dict(spec_dict), verify=verify)
     conn.send(record)
     conn.close()
 
@@ -99,7 +99,16 @@ class _Running:
 
     __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline", "t0")
 
-    def __init__(self, index, spec, attempt, proc, conn, deadline, t0):
+    def __init__(
+        self,
+        index: int,
+        spec: TaskSpec,
+        attempt: int,
+        proc: Any,
+        conn: Any,
+        deadline: Optional[float],
+        t0: float,
+    ) -> None:
         self.index = index
         self.spec = spec
         self.attempt = attempt
@@ -117,6 +126,7 @@ def run_tasks(
     backoff: float = 0.5,
     tracer: Tracer = NULL_TRACER,
     on_record: Optional[Callable[[Dict[str, Any]], None]] = None,
+    verify: bool = False,
 ) -> List[Dict[str, Any]]:
     """Execute every spec; return one record per spec, in input order.
 
@@ -125,7 +135,9 @@ def run_tasks(
     failure gets; ``backoff`` scales the linear delay before attempt n
     re-launches.  ``on_record`` is called with each finalized record as
     it settles (the campaign layer uses it to write the cache while the
-    run is still in flight).
+    run is still in flight).  ``verify=True`` makes each worker certify
+    its own ``ok`` record through the analysis passes and attach the
+    outcome under ``record["verification"]``.
     """
     if workers < 0:
         raise ValueError("workers must be >= 0")
@@ -142,7 +154,7 @@ def run_tasks(
 
     if workers == 0:
         for index, spec in enumerate(specs):
-            finalize(index, _guarded_run(spec), attempt=1)
+            finalize(index, _guarded_run(spec, verify=verify), attempt=1)
         return [r for r in results if r is not None]
 
     ctx = multiprocessing.get_context(
@@ -157,7 +169,9 @@ def run_tasks(
     def launch(index: int, spec: TaskSpec, attempt: int) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
-            target=_worker, args=(child_conn, spec.as_dict()), daemon=True
+            target=_worker,
+            args=(child_conn, spec.as_dict(), verify),
+            daemon=True,
         )
         proc.start()
         child_conn.close()

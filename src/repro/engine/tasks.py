@@ -232,7 +232,7 @@ def expand_grid(
 # execution
 # ----------------------------------------------------------------------
 def execute_strategy(
-    graph,
+    graph: "InterferenceGraph",
     k: int,
     strategy: str,
     tracer: Tracer = NULL_TRACER,
@@ -323,7 +323,7 @@ def _result_hash(payload: Any) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
-def run_task(spec: TaskSpec) -> Dict[str, Any]:
+def run_task(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
     """Execute one task in the current process; return its record.
 
     Deterministic outcomes — success and :exc:`BudgetExceeded` — are
@@ -335,6 +335,11 @@ def run_task(spec: TaskSpec) -> Dict[str, Any]:
     The record's ``result_hash`` covers only the semantic payload
     (never timings), so identical specs hash identically no matter how
     many workers ran the campaign.
+
+    With ``verify=True`` an ``ok`` record is certified through
+    :func:`repro.analysis.engine_check.verify_record` and the
+    verification dict is attached under ``record["verification"]``
+    (metadata only — it never enters ``result_hash``).
     """
     key = task_hash(spec)
     tracer = Tracer()
@@ -381,14 +386,22 @@ def run_task(spec: TaskSpec) -> Dict[str, Any]:
             result_hash=None,
             error=str(exc),
             seconds=time.perf_counter() - t0,
-            trace=tracer.report(),
         )
+        if verify:
+            from ..analysis.engine_check import verify_record
+
+            record["verification"] = verify_record(spec, record, tracer=tracer)
+        record["trace"] = tracer.report()
         return record
     record.update(
         status="ok",
         payload=payload,
         result_hash=_result_hash(payload),
         seconds=time.perf_counter() - t0,
-        trace=tracer.report(),
     )
+    if verify:
+        from ..analysis.engine_check import verify_record
+
+        record["verification"] = verify_record(spec, record, tracer=tracer)
+    record["trace"] = tracer.report()
     return record

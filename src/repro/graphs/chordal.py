@@ -65,12 +65,21 @@ def is_perfect_elimination_ordering(graph: Graph, order: Sequence[Vertex]) -> bo
     neighbours occurring later in the order must form a clique.  Uses the
     classic follower trick (Golumbic) for an O(V+E) check instead of the
     quadratic direct definition.
+
+    ``order`` must be a *permutation* of the vertex set: an order that
+    omits, duplicates, or invents vertices is rejected (a partial order
+    could otherwise pass the clique condition vacuously).
     """
-    position = {v: i for i, v in enumerate(order)}
-    if len(position) != len(graph):
+    if len(order) != len(graph):
         return False
+    position = {v: i for i, v in enumerate(order)}
+    if len(position) != len(order):
+        return False  # duplicated vertex
     for v in graph.vertices:
         if v not in position:
+            return False
+    for v in position:
+        if v not in graph:
             return False
     for v in order:
         later = [u for u in graph.neighbors_view(v) if position[u] > position[v]]

@@ -110,18 +110,21 @@ class InterferenceGraph(Graph):
     # overrides keeping affinities consistent
     # ------------------------------------------------------------------
     def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` plus its edges and affinities."""
         super().remove_vertex(v)
         self._affinities = {
             key: w for key, w in self._affinities.items() if v not in key
         }
 
     def copy(self) -> "InterferenceGraph":
+        """An independent deep copy (adjacency and affinities)."""
         g = InterferenceGraph()
         g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
         g._affinities = dict(self._affinities)
         return g
 
     def subgraph(self, keep: Iterable[Vertex]) -> "InterferenceGraph":
+        """The induced subgraph on ``keep``, affinities included."""
         keep_set = set(keep)
         base = super().subgraph(keep_set)
         g = InterferenceGraph()
@@ -165,6 +168,7 @@ class InterferenceGraph(Graph):
         return name
 
     def merged(self, u: Vertex, v: Vertex, into: Optional[Vertex] = None) -> "InterferenceGraph":
+        """A copy of the graph with ``u`` and ``v`` merged."""
         g = self.copy()
         g.merge_in_place(u, v, into=into)
         return g

@@ -45,7 +45,7 @@ def write_dimacs(
     return index
 
 
-def dumps_dimacs(graph: Graph, **kwargs) -> str:
+def dumps_dimacs(graph: Graph, **kwargs: Any) -> str:
     """DIMACS text of a graph."""
     buf = io.StringIO()
     write_dimacs(graph, buf, **kwargs)

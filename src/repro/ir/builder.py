@@ -30,6 +30,7 @@ class BlockBuilder:
 
     @property
     def name(self) -> str:
+        """The label of the block under construction."""
         return self._name
 
     def _append(self, instr: Instr) -> "BlockBuilder":

@@ -42,20 +42,24 @@ class _Gen:
         self.pool = [f"v{i}" for i in range(config.num_vars)]
 
     def new_block(self, tag: str) -> str:
+        """Add a fresh block named after ``tag`` and return its label."""
         self.counter += 1
         name = f"{tag}{self.counter}"
         self.func.add_block(name)
         return name
 
     def pick_var(self, assigned: Set[Var]) -> Var:
+        """Choose any variable name from the pool (may be fresh)."""
         return self.rng.choice(self.pool)
 
     def pick_use(self, assigned: Set[Var]) -> Optional[Var]:
+        """Choose a definitely-assigned variable to read, or None."""
         if assigned and self.rng.random() < self.config.reuse_bias:
             return self.rng.choice(sorted(assigned))
         return None
 
     def emit_straightline(self, block: str, assigned: Set[Var]) -> None:
+        """Fill ``block`` with a burst of moves and arithmetic."""
         n = self.rng.randint(1, self.config.max_stmts)
         instrs = self.func.blocks[block].instrs
         for _ in range(n):
@@ -87,6 +91,7 @@ class _Gen:
         return self.emit_if(entry, assigned, depth)
 
     def emit_if(self, entry: str, assigned: Set[Var], depth: int) -> str:
+        """Emit an if/else diamond; returns the join block."""
         cond = self.pick_use(assigned)
         if cond is None:
             cond = self.pick_var(assigned)
@@ -109,6 +114,7 @@ class _Gen:
         return join_b
 
     def emit_loop(self, entry: str, assigned: Set[Var], depth: int) -> str:
+        """Emit a while-shaped loop; returns the exit block."""
         header = self.new_block("head")
         body = self.new_block("body")
         exit_b = self.new_block("exit")

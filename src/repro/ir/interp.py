@@ -80,6 +80,7 @@ class Trace:
     fuel_exhausted: bool = False
 
     def key(self) -> Tuple:
+        """The semantic fingerprint equivalence checks compare."""
         return (tuple(self.observed), self.returned, self.fuel_exhausted)
 
 

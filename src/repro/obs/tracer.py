@@ -28,7 +28,8 @@ CSV and merges reports across instances.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
 
@@ -49,7 +50,12 @@ class _SpanHandle:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         elapsed = time.perf_counter() - self._t0
         tracer = self._tracer
         tracer._stack.pop()
@@ -82,7 +88,7 @@ class Tracer:
         """Add ``value`` (default 1) to the named counter."""
         self.counters[name] = self.counters.get(name, 0) + value
 
-    def span(self, name: str):
+    def span(self, name: str) -> "_SpanHandle":
         """A context manager timing one (possibly nested) phase.
 
         Re-entering the same name at the same nesting depth aggregates
@@ -179,7 +185,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
@@ -197,13 +208,14 @@ class NullTracer(Tracer):
     enabled = False
 
     def count(self, name: str, value: float = 1) -> None:
-        pass
+        """No-op."""
 
-    def span(self, name: str):
+    def span(self, name: str) -> "_NullSpan":  # type: ignore[override]
+        """A shared no-op span handle."""
         return _NULL_SPAN
 
     def event(self, name: str, **fields: Any) -> None:
-        pass
+        """No-op."""
 
 
 #: The process-wide no-op tracer used as the default everywhere.

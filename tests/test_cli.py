@@ -133,3 +133,93 @@ class TestSolveAndScore:
         assert main(["score", challenge_file, str(solutions)]) == 1
         out = capsys.readouterr().out
         assert "invalid" in out or "missing" in out
+
+
+class TestCheck:
+    def test_clean_ir_file(self, ir_file, capsys):
+        assert main(["check", ir_file]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_clean_challenge_file(self, challenge_file, capsys):
+        assert main(["check", challenge_file]) == 0
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.ir"
+        path.write_text(
+            "func broken entry entry\nentry:\n  ret ghost\n"
+        )
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "STRICT001" in out
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["check", "definitely-not-there.ir"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_file_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert main(["check", str(path)]) == 2
+
+    def test_json_output(self, ir_file, capsys):
+        import json
+
+        assert main(["check", ir_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total_diagnostics"] == 0
+        assert report["severity"] == "warning"
+        assert len(report["files"]) == 1
+
+    def test_info_severity_shows_certifications(self, tmp_path, capsys):
+        from repro.ir.gadget_programs import rotation_loop
+
+        path = tmp_path / "gadget.ir"
+        path.write_text(format_function(rotation_loop(2)))
+        assert main(["check", str(path), "--severity", "info"]) == 1
+        assert "LIVE004" in capsys.readouterr().out
+
+    def test_budget_flag(self, challenge_file, capsys):
+        # a tiny budget degrades to a warning finding, exit 1
+        assert main(["check", challenge_file, "--max-steps", "1"]) == 1
+        assert "BUDGET001" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_info_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert main(["info", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_info_missing_file(self, capsys):
+        assert main(["info", "nope.txt"]) == 2
+
+    def test_coalesce_missing_file(self, capsys):
+        assert main(["coalesce", "nope.txt", "--strategy", "briggs"]) == 2
+
+    def test_score_missing_files(self, tmp_path, capsys):
+        assert main(["score", "nope.txt", str(tmp_path / "sol.txt")]) == 2
+
+
+class TestCampaignVerify:
+    def test_verify_flag_records_certification(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "camp.json"
+        spec.write_text(json.dumps({
+            "name": "verify-test",
+            "defaults": {"generator": "pressure", "k": 5, "rounds": 4},
+            "grid": {"seed": {"count": 2}, "strategy": ["briggs"]},
+        }))
+        out = tmp_path / "summary.json"
+        status = main([
+            "campaign", "run", str(spec), "--verify", "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", "-o", str(out),
+        ])
+        assert status == 0
+        summary = json.loads(out.read_text())
+        verification = summary["verification"]
+        assert verification["enabled"] is True
+        assert verification["certified"] == summary["total_tasks"]
+        assert verification["failed"] == []

@@ -337,3 +337,92 @@ class TestCampaign:
         spec_file.write_text(json.dumps({"name": "empty"}))
         with pytest.raises(ValueError):
             load_campaign(str(spec_file))
+
+
+class TestVerify:
+    def _spec(self, seed=1, strategy="brute"):
+        return TaskSpec(generator="pressure", seed=seed, k=5,
+                        strategy=strategy)
+
+    def test_run_task_attaches_verification(self):
+        record = run_task(self._spec(), verify=True)
+        assert record["status"] == "ok"
+        assert record["verification"]["status"] == "certified"
+        assert record["verification"]["diagnostics"] == []
+
+    def test_run_task_without_verify_has_no_block(self):
+        record = run_task(self._spec())
+        assert "verification" not in record
+
+    def test_verification_never_changes_result_hash(self):
+        plain = run_task(self._spec())
+        verified = run_task(self._spec(), verify=True)
+        assert plain["result_hash"] == verified["result_hash"]
+
+    def test_fault_generator_skipped(self):
+        from repro.analysis.engine_check import verify_record
+
+        spec = TaskSpec(generator="sleep", seed=0, k=0,
+                        params={"seconds": 0.0})
+        record = run_task(spec, verify=True)
+        assert record["verification"]["status"] == "skipped"
+
+    def test_tampered_payload_fails(self):
+        from repro.analysis.engine_check import verify_record
+
+        spec = self._spec(seed=5)
+        record = run_task(spec)
+        record["payload"]["coalesced"] += 1
+        outcome = verify_record(spec, record)
+        assert outcome["status"] == "failed"
+        assert any(d["code"] == "COAL005" for d in outcome["diagnostics"])
+
+    def test_campaign_verify_summary_and_cache_upgrade(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [self._spec(seed=s) for s in range(3)]
+        campaign = Campaign(name="v", tasks=tasks, workers=0)
+        # first run without verification: no verification block
+        summary = run_campaign(campaign, cache, write_summary=False)
+        assert "verification" not in summary
+        # second run with verify: all cache hits get certified in place
+        summary = run_campaign(campaign, cache, write_summary=False,
+                               verify=True)
+        assert summary["cache_hits"] == 3
+        assert summary["verification"]["certified"] == 3
+        assert summary["verification"]["failed"] == []
+        # the upgraded records are persisted
+        for spec in tasks:
+            cached = cache.get(task_hash(spec))
+            assert cached["verification"]["status"] == "certified"
+
+    def test_campaign_verify_detects_poisoned_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self._spec(seed=9)
+        campaign = Campaign(name="p", tasks=[spec], workers=0)
+        run_campaign(campaign, cache, write_summary=False)
+        key = task_hash(spec)
+        record = cache.get(key)
+        record["payload"]["coalesced_pairs"].append(["zz1", "zz2"])
+        cache.put(key, record)
+        summary = run_campaign(campaign, cache, write_summary=False,
+                               verify=True)
+        assert summary["verification"]["failed"] == [key]
+
+    def test_load_campaign_reads_verify(self, tmp_path):
+        spec = tmp_path / "c.json"
+        spec.write_text(json.dumps({
+            "name": "v2", "verify": True,
+            "tasks": [{"generator": "pressure", "seed": 1, "k": 4,
+                       "strategy": "briggs"}],
+        }))
+        campaign = load_campaign(str(spec))
+        assert campaign.verify is True
+
+    def test_subprocess_workers_verify(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        campaign = Campaign(
+            name="w", tasks=[self._spec(seed=s) for s in range(2)],
+            workers=2, verify=True,
+        )
+        summary = run_campaign(campaign, cache, write_summary=False)
+        assert summary["verification"]["certified"] == 2

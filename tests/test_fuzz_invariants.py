@@ -161,3 +161,82 @@ def test_fuzz_merge_preserves_coloring_semantics(seed):
     coloring = dict(lifted)
     coloring[v] = lifted[u]
     assert verify_coloring(g, coloring)
+
+
+# ---------------------------------------------------------------------------
+# analysis passes on fuzz-generated artifacts
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_programs_pass_analysis(seed):
+    """Every generated strict program is clean under `repro check`
+    semantics: no diagnostics at the default (warning) severity."""
+    from repro.analysis import filter_diagnostics
+    from repro.analysis.runner import check_function
+    from repro.ir.generators import random_function
+
+    func = random_function(seed)
+    diagnostics = check_function(func)
+    assert filter_diagnostics(diagnostics, "warning") == [], [
+        str(d) for d in filter_diagnostics(diagnostics, "warning")
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_ssa_programs_certify_theorem1(seed):
+    """SSA construction over a fuzz program yields a function whose
+    interference graph the chordality pass certifies (Theorem 1)."""
+    from repro.analysis.runner import check_function
+    from repro.ir.generators import random_function
+    from repro.ir.ssa import construct_ssa
+
+    ssa = construct_ssa(random_function(seed))
+    diagnostics = check_function(ssa)
+    assert not any(d.severity == "error" for d in diagnostics), [
+        str(d) for d in diagnostics if d.severity == "error"
+    ]
+    assert any(d.code == "LIVE004" and d.severity == "info"
+               for d in diagnostics)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_coalescing_results_pass_analysis(seed):
+    """Conservative coalescing on fuzz instances always produces a
+    result the translation-validation passes accept."""
+    from repro.analysis import filter_diagnostics
+    from repro.analysis.runner import check_coalescing_result
+    from repro.challenge.generator import pressure_instance
+    from repro.coalescing.conservative import conservative_coalesce
+
+    rng = random.Random(seed)
+    inst = pressure_instance(rng.randint(3, 6), rng.randint(3, 7),
+                             rng=rng, name=f"fuzz-{seed}")
+    result = conservative_coalesce(
+        inst.graph, inst.k, test=rng.choice(["briggs", "george", "brute"])
+    )
+    diagnostics = check_coalescing_result(result, k=inst.k)
+    assert filter_diagnostics(diagnostics, "warning") == [], [
+        str(d) for d in filter_diagnostics(diagnostics, "warning")
+    ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_allocations_pass_analysis(seed):
+    """Chaitin allocation over fuzz programs validates cleanly."""
+    from repro.analysis import filter_diagnostics
+    from repro.analysis.runner import check_allocation
+    from repro.allocator.chaitin import chaitin_allocate
+    from repro.ir.generators import random_function
+
+    try:
+        result = chaitin_allocate(random_function(seed), 4)
+    except RuntimeError:
+        return  # spilling did not converge: not an analysis concern
+    diagnostics = check_allocation(result)
+    assert filter_diagnostics(diagnostics, "warning") == [], [
+        str(d) for d in filter_diagnostics(diagnostics, "warning")
+    ]
