@@ -85,6 +85,28 @@ class Budget:
             None if max_seconds is None else self._t0 + max_seconds
         )
 
+    @classmethod
+    def from_deadline(
+        cls,
+        seconds: float,
+        max_steps: Optional[int] = None,
+    ) -> "Budget":
+        """A budget expressed as a wall-clock deadline.
+
+        ``seconds`` is how much wall time remains from *now* — the shape
+        a serving layer hands down (``deadline`` minus queueing delay),
+        as opposed to the raw step counts the solvers meter internally.
+        An extra ``max_steps`` cap may be combined with it; a deadline
+        that is already spent (``seconds <= 0``) is rejected here so the
+        caller can turn it into an explicit timeout response instead of
+        dispatching doomed work.
+        """
+        if seconds is None or seconds <= 0:
+            raise ValueError(
+                f"deadline must have time remaining, got {seconds!r}"
+            )
+        return cls(max_steps=max_steps, max_seconds=seconds)
+
     def elapsed(self) -> float:
         """Seconds since the budget was created."""
         return time.monotonic() - self._t0

@@ -40,6 +40,18 @@ Commands
     IR files, or DIMACS graphs (auto-detected per file).  See
     ``docs/ANALYSIS.md`` for the pass catalog and diagnostic codes.
 
+``serve [--port P] [--workers N] [--cache-dir DIR] [--batch-window S]``
+    Run the resident :mod:`repro.serve` service: an asyncio HTTP API
+    that executes task requests on a persistent worker pool with
+    micro-batching, bounded-queue backpressure, and cache-aware
+    admission.  Runs until a client POSTs ``/drain`` (or Ctrl-C,
+    which drains gracefully).  See ``docs/SERVING.md``.
+
+``client [--url U] [--requests N] [--mode closed|open] [--json]``
+    Drive a running service with generated task load and report
+    throughput, latency percentiles, cache hits, and backpressure
+    outcomes; ``--drain`` drains the service afterwards.
+
 Exit codes
 ----------
 
@@ -531,6 +543,113 @@ def cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident serving stack until drained (repro.serve)."""
+    import asyncio
+
+    from .serve import ServeConfig, Service
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+        verify_default=args.verify,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        light_queue=args.light_queue,
+        light_concurrency=args.light_concurrency,
+        heavy_queue=args.heavy_queue,
+        heavy_concurrency=args.heavy_concurrency,
+        task_timeout=args.timeout,
+    )
+    service = Service(config)
+
+    async def run() -> None:
+        port = await service.start()
+        print(f"repro serve listening on http://{config.host}:{port} "
+              f"(workers={config.workers}, "
+              f"batch window={config.batch_window*1e3:g} ms, "
+              f"cache={'on: ' + str(config.cache_dir) if config.cache_dir else 'off'})",
+              flush=True)
+        await service.serve_until_drained()
+        print("drained; exiting", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Generate load against a running service and report latencies."""
+    import asyncio
+
+    from .serve.client import LoadConfig, drain, run_load, wait_healthy
+
+    try:
+        config = LoadConfig(
+            url=args.url,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            mode=args.mode,
+            rate=args.rate,
+            generator=args.generator,
+            strategy=args.strategy,
+            k=args.k,
+            seed_base=args.seed_base,
+            distinct_seeds=args.distinct_seeds,
+            verify=args.verify,
+            deadline=args.deadline,
+            cache_mode="bypass" if args.no_cache else "use",
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> dict:
+        await wait_healthy(args.url, timeout=args.wait)
+        report = await run_load(config)
+        if args.drain:
+            report["drain"] = await drain(args.url)
+        return report
+
+    try:
+        report = asyncio.run(run())
+    except (OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        latency = report["latency_ms"]
+        print(f"{report['completed']}/{report['requests']} completed "
+              f"in {report['wall_seconds']:.2f}s "
+              f"({report['throughput_rps']:g} req/s, mode={report['mode']})")
+        print(f"  latency ms       p50={latency['p50']:g} "
+              f"p90={latency['p90']:g} p99={latency['p99']:g} "
+              f"max={latency['max']:g}")
+        print(f"  http statuses    {report['http_statuses']}")
+        print(f"  record statuses  {report['record_statuses']}")
+        print(f"  cache hits       {report['cache_hits']}")
+        if report.get("batch"):
+            print(f"  batch            mean={report['batch']['mean_size']:g} "
+                  f"max={report['batch']['max_size']}")
+        if report.get("drain"):
+            print(f"  drained          {report['drain']['drained']}")
+    failures = report["transport_errors"] + sum(
+        count for status, count in report["http_statuses"].items()
+        if status.startswith("5")
+    )
+    return 1 if failures else 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     """Render one instance as Graphviz DOT on stdout."""
     try:
@@ -661,6 +780,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instance", help="instance name (default: first)")
     p.add_argument("--dimacs", action="store_true")
     p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident task-serving service (docs/SERVING.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 = ephemeral, printed at startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="persistent pool workers (0 = inline, no "
+                   "subprocesses — dev/test only)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="shared result cache directory ('' disables)")
+    p.add_argument("--verify", action="store_true",
+                   help="certify every result through the analysis passes")
+    p.add_argument("--batch-window", type=float, default=0.005,
+                   help="micro-batch collection window in seconds "
+                   "(0 disables batching)")
+    p.add_argument("--batch-max", type=int, default=16,
+                   help="max tasks per micro-batch dispatch")
+    p.add_argument("--light-queue", type=int, default=128,
+                   help="max in-flight light-class requests before 429")
+    p.add_argument("--light-concurrency", type=int, default=8,
+                   help="max concurrent light-class dispatches")
+    p.add_argument("--heavy-queue", type=int, default=16,
+                   help="max in-flight heavy-class requests before 429")
+    p.add_argument("--heavy-concurrency", type=int, default=2,
+                   help="max concurrent heavy-class dispatches")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-task wall-clock kill timeout in seconds")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="drive a running service with generated load",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8080")
+    p.add_argument("--requests", type=int, default=50)
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="closed-loop virtual clients")
+    p.add_argument("--mode", choices=["closed", "open"], default="closed")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="open-loop arrival rate (requests/second)")
+    p.add_argument("--generator", default="pressure")
+    p.add_argument("--strategy", default="brute",
+                   choices=STRATEGIES + ["exact", "exact-kcolorable"])
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--seed-base", type=int, default=0)
+    p.add_argument("--distinct-seeds", type=int, default=None,
+                   help="seed cycle length (default: one per request; "
+                   "smaller values replay seeds and exercise the cache)")
+    p.add_argument("--verify", action="store_true",
+                   help="request verification certificates")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ask the service to bypass its result cache")
+    p.add_argument("--wait", type=float, default=10.0,
+                   help="seconds to wait for the service to become healthy")
+    p.add_argument("--drain", action="store_true",
+                   help="POST /drain after the load run")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("-o", "--output", help="also write the report here")
+    p.set_defaults(func=cmd_client)
 
     return parser
 

@@ -31,7 +31,7 @@ from .tasks import (
     task_hash,
 )
 from .cache import ResultCache
-from .pool import run_tasks
+from .pool import PersistentPool, run_tasks
 from .campaign import Campaign, campaign_status, load_campaign, run_campaign
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "run_task",
     "ResultCache",
     "run_tasks",
+    "PersistentPool",
     "Campaign",
     "load_campaign",
     "run_campaign",

@@ -12,15 +12,19 @@ Layout (two-level fan-out keeps directories small)::
       ab/abcdef0123456789.json      # one record per task key
       <name>.summary.json           # campaign summary artifacts
 
-Writes are atomic (temp file + ``os.replace``) so an interrupted
-campaign never leaves a half-written record; corrupt or unreadable
-entries read back as misses and are simply re-executed.
+Writes are atomic (a *uniquely named* temp file + ``os.replace``) and
+safe under **concurrent writers**: any number of campaign workers and
+:mod:`repro.serve` request handlers may share one cache directory, each
+write lands whole or not at all, and the last replace wins.  An
+interrupted run never leaves a half-written record; corrupt or
+unreadable entries read back as misses and are simply re-executed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
@@ -49,14 +53,30 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Atomically write (or overwrite) the record for ``key``."""
+        """Atomically write (or overwrite) the record for ``key``.
+
+        The temp file name is unique per writer (``tempfile.mkstemp``
+        in the destination directory), so concurrent processes writing
+        the same key never interleave bytes: each finishes its own temp
+        file and the ``os.replace`` calls serialize, last one winning
+        with a complete record either way.
+        """
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as stream:
-            json.dump(record, stream, indent=2, sort_keys=True)
-            stream.write("\n")
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as stream:
+                json.dump(record, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def delete(self, key: str) -> bool:
         """Drop one record; True iff it existed."""

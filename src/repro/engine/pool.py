@@ -26,12 +26,22 @@ workers.
 Progress counters are threaded through a :class:`repro.obs.Tracer`:
 ``engine.tasks_run``, ``engine.timeouts``, ``engine.crashes``,
 ``engine.retries``, ``engine.errors`` (see ``docs/OBSERVABILITY.md``).
+
+:class:`PersistentPool` is the second execution surface: **long-lived**
+worker processes that amortize process spawn and import cost across
+many dispatches — what an always-on service needs, where
+:func:`run_tasks`'s process-per-task model is the right shape for
+batch campaigns.  It keeps the same containment guarantees (a hung
+dispatch is killed on its deadline, a dead worker is detected as a
+closed pipe and respawned) and the same record vocabulary.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import queue as queue_mod
+import threading
 import time
 import traceback
 from collections import deque
@@ -41,7 +51,7 @@ from ..budget import BudgetExceeded
 from ..obs import NULL_TRACER, Tracer
 from .tasks import TaskSpec, run_task, task_hash
 
-__all__ = ["run_tasks", "RETRYABLE_STATUSES"]
+__all__ = ["run_tasks", "PersistentPool", "RETRYABLE_STATUSES"]
 
 #: Statuses caused by the environment rather than the task itself —
 #: the only ones worth retrying.
@@ -51,11 +61,15 @@ RETRYABLE_STATUSES = frozenset({"timeout", "crashed"})
 _POLL_SECONDS = 0.05
 
 
-def _guarded_run(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
+def _guarded_run(
+    spec: TaskSpec,
+    verify: bool = False,
+    deadline: Optional[float] = None,
+) -> Dict[str, Any]:
     """Run one task, converting task-raised exceptions into ``error``
     records (deterministic failures; never retried)."""
     try:
-        return run_task(spec, verify=verify)
+        return run_task(spec, verify=verify, deadline=deadline)
     except BudgetExceeded:  # run_task already handles this; belt+braces
         raise
     except Exception:
@@ -253,3 +267,205 @@ def run_tasks(
                 reap(state)
                 settle_failure(state, "crashed")
     return [r for r in results if r is not None]
+
+
+# ----------------------------------------------------------------------
+# persistent pool (the serving-layer execution surface)
+# ----------------------------------------------------------------------
+def _persistent_worker(conn: Any) -> None:
+    """Long-lived subprocess loop: recv a dispatch, run it, send records.
+
+    A dispatch is ``{"specs": [...], "deadlines": [...], "verify": b}``;
+    ``None`` asks the worker to exit.  Each spec runs under its own
+    remaining-deadline budget (see :func:`repro.engine.tasks.run_task`).
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        records = []
+        deadlines = message.get("deadlines") or [None] * len(message["specs"])
+        for spec_dict, deadline in zip(message["specs"], deadlines):
+            records.append(_guarded_run(
+                TaskSpec.from_dict(spec_dict),
+                verify=bool(message.get("verify", False)),
+                deadline=deadline,
+            ))
+        try:
+            conn.send(records)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _PoolWorker:
+    """One persistent worker process plus its command pipe."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, ctx: Any) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_persistent_worker, args=(child_conn,), daemon=True
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def kill(self) -> None:
+        """Tear the worker down hard (used after a hang or crash)."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(timeout=1.0)
+
+
+class PersistentPool:
+    """A fixed-size pool of long-lived worker processes.
+
+    Unlike :func:`run_tasks` (one process per task, ideal for batch
+    campaigns), a :class:`PersistentPool` keeps ``workers`` subprocesses
+    alive across dispatches, so an always-on caller — the
+    :mod:`repro.serve` service — pays process spawn and import cost once,
+    not per request.  :meth:`submit` is **thread-safe and blocking**:
+    any number of dispatcher threads may call it concurrently; each
+    call checks out one idle worker (blocking until one frees up),
+    ships a whole batch of specs in a single round trip, and returns
+    one record per spec in input order.
+
+    Containment matches the batch pool: a dispatch that overruns
+    ``timeout`` gets its worker killed (records: ``timeout``), a worker
+    that dies mid-dispatch is detected as a closed pipe (records:
+    ``crashed``), and either way a fresh worker replaces the dead one,
+    so pool capacity never decays.  With ``workers=0`` dispatches run
+    inline in the calling thread — no subprocesses, no kill-based
+    containment (cooperative budgets only), which is what deterministic
+    tests want.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        verify: bool = False,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.verify = verify
+        self.tracer = tracer
+        self._closed = False
+        self._lock = threading.Lock()
+        self._idle: "queue_mod.Queue[_PoolWorker]" = queue_mod.Queue()
+        self._ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        for _ in range(workers):
+            self._idle.put(_PoolWorker(self._ctx))
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        specs: Sequence[TaskSpec],
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        verify: Optional[bool] = None,
+        timeout: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run a batch of specs on one worker; records in input order.
+
+        ``deadlines`` gives each spec its remaining wall-clock seconds
+        (None = unlimited) — forwarded into the task's cooperative
+        budget.  ``timeout`` bounds the whole dispatch from outside: on
+        overrun the worker is killed and every spec in the batch gets a
+        ``timeout`` record (callers batching independent requests keep
+        batches homogeneous and small for exactly this blast-radius
+        reason).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        verify = self.verify if verify is None else verify
+        if self.workers == 0:
+            return [
+                _guarded_run(spec, verify=verify, deadline=deadline)
+                for spec, deadline in zip(
+                    specs, deadlines or [None] * len(specs)
+                )
+            ]
+        worker = self._idle.get()
+        try:
+            worker.conn.send({
+                "specs": [spec.as_dict() for spec in specs],
+                "deadlines": list(deadlines) if deadlines else None,
+                "verify": verify,
+            })
+            if worker.conn.poll(timeout):
+                records = worker.conn.recv()
+                self._idle.put(worker)
+                return records
+            # overrun: kill, replace, synthesize timeout records
+            self.tracer.count("engine.timeouts")
+            worker.kill()
+            self._respawn()
+            return [
+                _failure_record(
+                    spec, "timeout",
+                    error=f"persistent-pool dispatch exceeded {timeout}s",
+                    seconds=timeout or 0.0,
+                )
+                for spec in specs
+            ]
+        except (EOFError, BrokenPipeError, OSError):
+            self.tracer.count("engine.crashes")
+            worker.kill()
+            self._respawn()
+            return [
+                _failure_record(
+                    spec, "crashed",
+                    error="worker process died mid-dispatch",
+                )
+                for spec in specs
+            ]
+
+    def _respawn(self) -> None:
+        """Replace a killed worker so capacity never decays."""
+        with self._lock:
+            if not self._closed:
+                self._idle.put(_PoolWorker(self._ctx))
+
+    def close(self) -> None:
+        """Shut every idle worker down (idempotent).
+
+        Callers are expected to stop submitting first; workers still
+        checked out by an in-flight :meth:`submit` are reaped when that
+        dispatch returns them (their send fails once the process exits).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue_mod.Empty:
+                break
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            worker.proc.join(timeout=1.0)
+            worker.kill()
+
+    def __enter__(self) -> "PersistentPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()

@@ -323,7 +323,11 @@ def _result_hash(payload: Any) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
-def run_task(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
+def run_task(
+    spec: TaskSpec,
+    verify: bool = False,
+    deadline: Optional[float] = None,
+) -> Dict[str, Any]:
     """Execute one task in the current process; return its record.
 
     Deterministic outcomes — success and :exc:`BudgetExceeded` — are
@@ -331,6 +335,13 @@ def run_task(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
     Any other exception propagates to the caller: the pool wraps it
     into an ``error`` record, and hangs/crashes are detected from
     outside the process (statuses ``timeout`` / ``crashed``).
+
+    ``deadline`` is remaining wall-clock seconds granted by the caller
+    (:meth:`repro.budget.Budget.from_deadline`); it tightens — never
+    loosens — the spec's own ``max_seconds``, so a serving layer can
+    bound a request's time without changing the task's identity
+    (deadlines are *execution* parameters and never enter
+    :func:`task_hash`).
 
     The record's ``result_hash`` covers only the semantic payload
     (never timings), so identical specs hash identically no matter how
@@ -347,10 +358,6 @@ def run_task(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
         task=key, generator=spec.generator, strategy=spec.strategy,
         seed=spec.seed, k=spec.k,
     )
-    budget = None
-    if spec.max_steps is not None or spec.max_seconds is not None:
-        budget = Budget(max_steps=spec.max_steps,
-                        max_seconds=spec.max_seconds)
     t0 = time.perf_counter()
     record: Dict[str, Any] = {
         "schema": 1,
@@ -361,6 +368,22 @@ def run_task(spec: TaskSpec, verify: bool = False) -> Dict[str, Any]:
         "error": None,
     }
     try:
+        budget = None
+        max_seconds = spec.max_seconds
+        if deadline is not None:
+            if deadline <= 0:
+                # spent while queued: a deterministic budget outcome,
+                # not an error — the serving layer maps it to a timeout
+                raise BudgetExceeded("deadline", 0, 0.0)
+            max_seconds = (
+                deadline if max_seconds is None
+                else min(max_seconds, deadline)
+            )
+        if max_seconds is not None:
+            budget = Budget.from_deadline(max_seconds,
+                                          max_steps=spec.max_steps)
+        elif spec.max_steps is not None:
+            budget = Budget(max_steps=spec.max_steps)
         if spec.generator == "sleep":
             time.sleep(float(spec.params_dict().get("seconds", 60.0)))
             payload: Any = {"slept": float(spec.params_dict().get("seconds", 60.0))}

@@ -16,7 +16,14 @@ report schema.
 """
 
 from .tracer import NULL_TRACER, NullTracer, Tracer
-from .export import as_report, csv_rows, merged_report, to_csv, to_json
+from .export import (
+    as_report,
+    csv_rows,
+    merged_report,
+    to_csv,
+    to_json,
+    to_prometheus,
+)
 
 __all__ = [
     "Tracer",
@@ -27,4 +34,5 @@ __all__ = [
     "merged_report",
     "to_csv",
     "to_json",
+    "to_prometheus",
 ]

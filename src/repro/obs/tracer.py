@@ -23,10 +23,19 @@ can hoist even that with ``if tracer.enabled: ...``.
 :meth:`Tracer.report` returns a plain-``dict`` snapshot that is
 JSON-serializable as-is; :mod:`repro.obs.export` renders it to JSON or
 CSV and merges reports across instances.
+
+A :class:`Tracer` is **safe to share across threads**: counter, span,
+and event mutation is serialized by an internal lock (so concurrent
+``count()`` calls never lose updates), and the span nesting stack is
+thread-local (so spans opened on different threads do not corrupt each
+other's paths).  This is what lets the serving layer
+(:mod:`repro.serve`) thread one process-wide tracer through every
+request handler and dispatch thread.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from types import TracebackType
 from typing import Any, Dict, List, Optional, Type
@@ -59,12 +68,13 @@ class _SpanHandle:
         elapsed = time.perf_counter() - self._t0
         tracer = self._tracer
         tracer._stack.pop()
-        stat = tracer._spans.get(self._path)
-        if stat is None:
-            tracer._spans[self._path] = [1, elapsed]
-        else:
-            stat[0] += 1
-            stat[1] += elapsed
+        with tracer._lock:
+            stat = tracer._spans.get(self._path)
+            if stat is None:
+                tracer._spans[self._path] = [1, elapsed]
+            else:
+                stat[0] += 1
+                stat[1] += elapsed
         return False
 
 
@@ -78,15 +88,25 @@ class Tracer:
         self.meta: Dict[str, Any] = {}
         self._spans: Dict[str, List[float]] = {}  # path -> [calls, seconds]
         self._events: List[Dict[str, Any]] = []
-        self._stack: List[str] = []
+        self._local = threading.local()
         self._max_events = max_events
         self._dropped_events = 0
+        self._lock = threading.Lock()
         self._t0 = time.perf_counter()
+
+    @property
+    def _stack(self) -> List[str]:
+        """The span nesting stack of the *calling* thread."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def count(self, name: str, value: float = 1) -> None:
         """Add ``value`` (default 1) to the named counter."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def span(self, name: str) -> "_SpanHandle":
         """A context manager timing one (possibly nested) phase.
@@ -98,27 +118,30 @@ class Tracer:
 
     def event(self, name: str, **fields: Any) -> None:
         """Record a structured event (kept in order, capped)."""
-        if len(self._events) >= self._max_events:
-            self._dropped_events += 1
-            return
         record: Dict[str, Any] = {
             "name": name,
             "at": round(time.perf_counter() - self._t0, 6),
         }
         record.update(fields)
-        self._events.append(record)
+        with self._lock:
+            if len(self._events) >= self._max_events:
+                self._dropped_events += 1
+                return
+            self._events.append(record)
 
     # ------------------------------------------------------------------
     def spans(self) -> Dict[str, Dict[str, float]]:
         """Aggregated span statistics: path -> {calls, seconds}."""
-        return {
-            path: {"calls": int(calls), "seconds": seconds}
-            for path, (calls, seconds) in self._spans.items()
-        }
+        with self._lock:
+            return {
+                path: {"calls": int(calls), "seconds": seconds}
+                for path, (calls, seconds) in self._spans.items()
+            }
 
     def events(self) -> List[Dict[str, Any]]:
         """The recorded events (a copy)."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def report(self) -> Dict[str, Any]:
         """A JSON-serializable snapshot of everything collected.
@@ -131,16 +154,19 @@ class Tracer:
              "meta": {...},
              "dropped_events": n}
         """
-        return {
-            "counters": {k: self.counters[k] for k in sorted(self.counters)},
-            "spans": [
-                {"name": path, "calls": int(calls), "seconds": round(seconds, 6)}
-                for path, (calls, seconds) in sorted(self._spans.items())
-            ],
-            "events": list(self._events),
-            "meta": dict(self.meta),
-            "dropped_events": self._dropped_events,
-        }
+        with self._lock:
+            return {
+                "counters": {k: self.counters[k]
+                             for k in sorted(self.counters)},
+                "spans": [
+                    {"name": path, "calls": int(calls),
+                     "seconds": round(seconds, 6)}
+                    for path, (calls, seconds) in sorted(self._spans.items())
+                ],
+                "events": list(self._events),
+                "meta": dict(self.meta),
+                "dropped_events": self._dropped_events,
+            }
 
     def absorb(self, report: Dict[str, Any]) -> None:
         """Merge a report dict's counters and spans into this tracer.
@@ -155,26 +181,34 @@ class Tracer:
         """
         if not self.enabled:
             return
-        for name, value in report.get("counters", {}).items():
-            self.counters[name] = self.counters.get(name, 0) + value
-        for span in report.get("spans", []):
-            stat = self._spans.get(span["name"])
-            if stat is None:
-                self._spans[span["name"]] = [span["calls"], span["seconds"]]
-            else:
-                stat[0] += span["calls"]
-                stat[1] += span["seconds"]
-        self._dropped_events += report.get("dropped_events", 0)
+        with self._lock:
+            for name, value in report.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for span in report.get("spans", []):
+                stat = self._spans.get(span["name"])
+                if stat is None:
+                    self._spans[span["name"]] = [span["calls"],
+                                                 span["seconds"]]
+                else:
+                    stat[0] += span["calls"]
+                    stat[1] += span["seconds"]
+            self._dropped_events += report.get("dropped_events", 0)
 
     def clear(self) -> None:
-        """Reset all collected data (the clock restarts too)."""
-        self.counters.clear()
-        self.meta.clear()
-        self._spans.clear()
-        self._events.clear()
-        self._stack.clear()
-        self._dropped_events = 0
-        self._t0 = time.perf_counter()
+        """Reset all collected data (the clock restarts too).
+
+        Only the calling thread's span stack is reset — other threads'
+        open spans keep their nesting (clearing mid-span from another
+        thread would corrupt it).
+        """
+        with self._lock:
+            self.counters.clear()
+            self.meta.clear()
+            self._spans.clear()
+            self._events.clear()
+            self._stack.clear()
+            self._dropped_events = 0
+            self._t0 = time.perf_counter()
 
 
 class _NullSpan:

@@ -1,0 +1,46 @@
+"""Async serving layer: the engine as an always-on, low-latency API.
+
+Every other entry point in this repository (CLI, benchmarks,
+campaigns) is batch-oriented and pays process start, import, and
+worker warm-up cost per invocation.  This package makes the
+reproduction *resident*: an :mod:`asyncio` HTTP service (stdlib only)
+that answers JSON task requests — coalescing strategies, allocators,
+reductions, analysis checks, anything a
+:class:`repro.engine.tasks.TaskSpec` can express — from a persistent
+worker pool, fronted by the serving-stack trio the roadmap's
+production goals require:
+
+* **admission control** (:mod:`repro.serve.admission`) — bounded
+  per-class queues with explicit 429/503 backpressure and deadline
+  propagation into :mod:`repro.budget`;
+* **micro-batching** (:mod:`repro.serve.batcher`) — homogeneous
+  requests coalesce into one worker dispatch inside a configurable
+  time/size window;
+* **cache-aware routing** (:mod:`repro.serve.service`) — the engine's
+  content-addressed result cache answers repeats without touching a
+  worker, and verified results are written back for campaigns to
+  reuse.
+
+Operational surface: ``/healthz``, ``/metrics`` (Prometheus text),
+``/drain``.  Entry points: ``python -m repro serve`` and the load
+generator ``python -m repro client``.  See ``docs/SERVING.md``.
+"""
+
+from .admission import AdmissionController, ClassLimit
+from .batcher import MicroBatcher
+from .client import LoadConfig, run_load
+from .protocol import TaskRequest, batch_key, parse_task_request
+from .service import ServeConfig, Service
+
+__all__ = [
+    "AdmissionController",
+    "ClassLimit",
+    "MicroBatcher",
+    "LoadConfig",
+    "run_load",
+    "TaskRequest",
+    "batch_key",
+    "parse_task_request",
+    "ServeConfig",
+    "Service",
+]

@@ -1,0 +1,146 @@
+"""Admission control: bounded queues, per-class concurrency, drain.
+
+The service never buffers unboundedly.  Every task request must first
+pass :meth:`AdmissionController.try_enter`, which applies, in order:
+
+1. **drain state** — a draining service rejects all new work with 503
+   (clients retry against another replica);
+2. **queue bound** — each admission class (``light`` / ``heavy``, see
+   :func:`repro.serve.protocol.request_class`) caps its total in-system
+   requests (queued + executing); at the bound the request is rejected
+   with 429, which is *backpressure*: the client learns immediately
+   instead of waiting in an ever-growing queue until its deadline dies.
+
+Admitted requests later contend for a **dispatch slot**
+(:meth:`AdmissionController.slot`, an async context manager around a
+per-class :class:`asyncio.Semaphore`): the concurrency bound says how
+many worker dispatches of that class may run at once, so a burst of
+exponential exact-solver calls can never occupy every pool worker and
+starve the cheap heuristic traffic.
+
+Rejections are counted on the shared tracer (``serve.rejected_429`` /
+``serve.rejected_503``); current depths are exported as gauges through
+``/metrics`` (:meth:`AdmissionController.gauges`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, Mapping, Optional, Tuple
+
+from contextlib import asynccontextmanager
+
+from ..obs import NULL_TRACER, Tracer
+
+__all__ = ["ClassLimit", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class ClassLimit:
+    """Bounds for one admission class.
+
+    ``max_queue`` caps requests in the system (queued + executing);
+    ``max_concurrency`` caps simultaneous worker dispatches.
+    """
+
+    max_queue: int
+    max_concurrency: int
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1 or self.max_concurrency < 1:
+            raise ValueError("admission limits must be >= 1")
+
+
+class AdmissionController:
+    """Bounded admission with per-class concurrency and graceful drain."""
+
+    def __init__(
+        self,
+        limits: Mapping[str, ClassLimit],
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.limits = dict(limits)
+        self.tracer = tracer
+        self._in_system: Dict[str, int] = {name: 0 for name in limits}
+        self._semaphores: Dict[str, asyncio.Semaphore] = {
+            name: asyncio.Semaphore(limit.max_concurrency)
+            for name, limit in limits.items()
+        }
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._check_drained()
+
+    # ------------------------------------------------------------------
+    def try_enter(self, cls: str) -> Optional[Tuple[int, str]]:
+        """Admit one request of class ``cls``, or say why not.
+
+        Returns ``None`` on admission (the caller owes a matching
+        :meth:`leave`), else ``(http_status, reason)`` — ``(503,
+        "draining")`` or ``(429, "queue full")``.
+        """
+        if cls not in self.limits:
+            raise ValueError(f"unknown admission class {cls!r}")
+        if self._draining:
+            self.tracer.count("serve.rejected_503")
+            return (503, "draining: not accepting new work")
+        if self._in_system[cls] >= self.limits[cls].max_queue:
+            self.tracer.count("serve.rejected_429")
+            return (429, f"{cls} queue full "
+                         f"({self.limits[cls].max_queue} in flight)")
+        self._in_system[cls] += 1
+        return None
+
+    def leave(self, cls: str) -> None:
+        """Release one admitted request (response sent or failed)."""
+        self._in_system[cls] -= 1
+        assert self._in_system[cls] >= 0, "admission leave() underflow"
+        self._check_drained()
+
+    @asynccontextmanager
+    async def slot(self, cls: str) -> AsyncIterator[None]:
+        """Hold one of the class's concurrent dispatch slots."""
+        semaphore = self._semaphores[cls]
+        await semaphore.acquire()
+        try:
+            yield
+        finally:
+            semaphore.release()
+
+    # ------------------------------------------------------------------
+    def start_drain(self) -> None:
+        """Stop admitting; :meth:`wait_drained` resolves once idle."""
+        self._draining = True
+        self._check_drained()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the controller is refusing new work."""
+        return self._draining
+
+    def _check_drained(self) -> None:
+        if self._draining and not any(self._in_system.values()):
+            self._drained.set()
+
+    async def wait_drained(self) -> None:
+        """Block until draining *and* every admitted request has left."""
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    def in_system(self, cls: Optional[str] = None) -> int:
+        """Requests currently admitted (one class, or all)."""
+        if cls is not None:
+            return self._in_system[cls]
+        return sum(self._in_system.values())
+
+    def gauges(self) -> Dict[str, float]:
+        """Point-in-time metrics for the ``/metrics`` endpoint."""
+        out: Dict[str, float] = {
+            "serve_draining": 1.0 if self._draining else 0.0,
+        }
+        for name, count in sorted(self._in_system.items()):
+            out[f'serve_in_system{{class="{name}"}}'] = float(count)
+            out[f'serve_queue_limit{{class="{name}"}}'] = float(
+                self.limits[name].max_queue
+            )
+        return out

@@ -1,0 +1,260 @@
+"""Minimal HTTP/1.1 codec over :mod:`asyncio` streams (stdlib only).
+
+The serving layer deliberately avoids third-party HTTP stacks: the
+protocol surface it needs is tiny (JSON request in, JSON response out,
+keep-alive, a handful of status codes), and a ~200-line codec keeps the
+whole service dependency-free and auditable.  Both directions are
+implemented — :func:`read_request` / :func:`render_response` for the
+server, :func:`render_request` / :func:`read_response` for the load
+generator — so client and server are exercised against the *same*
+parser in the tests.
+
+Limits are explicit and small: request line and headers are capped at
+:data:`MAX_HEADER_BYTES`, bodies at ``max_body`` (the caller's knob;
+:data:`DEFAULT_MAX_BODY` by default).  ``Transfer-Encoding: chunked``
+is not implemented and is rejected with 501 — every client this
+service speaks to sends ``Content-Length``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "read_request",
+    "read_response",
+    "render_response",
+    "render_request",
+    "json_response",
+    "STATUS_REASONS",
+    "MAX_HEADER_BYTES",
+    "DEFAULT_MAX_BODY",
+]
+
+#: Upper bound on the request line plus all headers, in bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Default upper bound on a request body, in bytes.
+DEFAULT_MAX_BODY = 4 * 1024 * 1024
+
+#: Reason phrases for every status the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or over-limit message; carries the response status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body decoded as JSON (:class:`HttpError` 400 on failure)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One parsed HTTP response (the client side of the codec)."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body decoded as JSON (:class:`HttpError` 400 on failure)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, Dict[str, str]]]:
+    """Read start-line + headers; None on clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between messages
+        raise HttpError(400, "connection closed mid-headers") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "headers exceed limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers exceed limit")
+    lines = head.decode("latin-1").split("\r\n")
+    start_line = lines[0]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return start_line, headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader,
+    headers: Mapping[str, str],
+    max_body: int,
+) -> bytes:
+    """Read a Content-Length body (chunked is rejected with 501)."""
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked transfer encoding not supported")
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length: {raw_length!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+    if length > max_body:
+        raise HttpError(413, f"body of {length} bytes exceeds limit")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise HttpError(400, "connection closed mid-body") from exc
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> Optional[Request]:
+    """Parse one request; None on clean connection close.
+
+    Raises :class:`HttpError` on malformed or over-limit input — the
+    server turns that into the error's status code and closes the
+    connection.
+    """
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    start_line, headers = head
+    parts = start_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {start_line!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+    body = await _read_body(reader, headers, max_body)
+    return Request(
+        method=method.upper(), path=path, query=query,
+        headers=headers, body=body,
+    )
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> Optional[Response]:
+    """Parse one response (the client side); None on clean close."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    status_line, headers = head
+    parts = status_line.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed status line: {status_line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HttpError(400, f"bad status code: {parts[1]!r}") from exc
+    body = await _read_body(reader, headers, max_body)
+    return Response(status=status, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialize one response message to wire bytes."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def render_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    host: str = "localhost",
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one request message to wire bytes."""
+    lines = [
+        f"{method.upper()} {path} HTTP/1.1",
+        f"Host: {host}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if body:
+        lines.insert(2, f"Content-Type: {content_type}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    keep_alive: bool = True,
+) -> bytes:
+    """Render a JSON payload as a complete response message."""
+    body = json.dumps(payload, sort_keys=True).encode()
+    return render_response(status, body, keep_alive=keep_alive)

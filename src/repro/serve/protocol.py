@@ -1,0 +1,148 @@
+"""Request/response schema of the serving API.
+
+One task request (``POST /v1/task``) is a JSON document::
+
+    {"task": {"generator": "pressure", "seed": 7, "k": 6,
+              "strategy": "briggs", "params": {"rounds": 9},
+              "max_steps": 100000, "max_seconds": 2.0},
+     "verify": false,          # certify via repro.analysis (optional)
+     "deadline": 1.5,          # wall-clock seconds granted (optional)
+     "cache": "use"}           # "use" | "bypass" | "refresh" (optional)
+
+``task`` is exactly a :class:`repro.engine.tasks.TaskSpec` in its
+``as_dict`` form, so anything a campaign can express, the service can
+serve — and the content address (:func:`repro.engine.tasks.task_hash`)
+is shared between both, which is what makes the result cache a common
+substrate.
+
+:func:`parse_task_request` validates the document into a
+:class:`TaskRequest`; validation failures raise
+:class:`repro.serve.http.HttpError` (status 400) with a message naming
+the offending field.  :func:`batch_key` gives the micro-batcher its
+homogeneity key: everything about the task *except its seed*, plus the
+verify flag — tasks differing only by seed run identically shaped work
+and can share one worker dispatch.
+
+Admission classes: :func:`request_class` maps a spec onto ``"light"``
+(polynomial heuristics) or ``"heavy"`` (exponential exact solvers and
+opaque custom calls), which the admission controller budgets
+separately so one queue of slow solver calls cannot starve cheap
+heuristic traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Tuple
+
+from ..engine.tasks import TaskSpec, task_hash
+from .http import HttpError
+
+__all__ = [
+    "TaskRequest",
+    "parse_task_request",
+    "batch_key",
+    "request_class",
+    "CACHE_MODES",
+    "HEAVY_STRATEGIES",
+    "LIGHT",
+    "HEAVY",
+]
+
+#: Cache interaction modes a request may ask for.
+CACHE_MODES = ("use", "bypass", "refresh")
+
+#: Admission class names.
+LIGHT = "light"
+HEAVY = "heavy"
+
+#: Strategies whose worst case is exponential (budget-bounded search)
+#: or opaque (custom calls) — admitted under the ``heavy`` class.
+HEAVY_STRATEGIES = frozenset({"exact", "exact-kcolorable", "call"})
+
+
+@dataclass
+class TaskRequest:
+    """One admitted unit of client work, parsed and content-addressed."""
+
+    spec: TaskSpec
+    key: str
+    verify: bool = False
+    deadline: Optional[float] = None
+    cache_mode: str = "use"
+
+    @property
+    def admission_class(self) -> str:
+        """The admission class this request is budgeted under."""
+        return request_class(self.spec)
+
+
+def request_class(spec: TaskSpec) -> str:
+    """Admission class of a spec: ``"heavy"`` for exponential/opaque
+    work (exact solvers, custom calls, fault injection), else
+    ``"light"``."""
+    if spec.strategy in HEAVY_STRATEGIES:
+        return HEAVY
+    if spec.generator in ("sleep", "crash"):
+        return HEAVY
+    return LIGHT
+
+
+def batch_key(spec: TaskSpec, verify: bool) -> Tuple[Any, ...]:
+    """Micro-batching homogeneity key: the spec minus its seed.
+
+    Two requests share a dispatch iff they run the same generator,
+    strategy, ``k``, parameters, and budget caps, and agree on
+    verification — i.e. they are the same *workload*, differing only in
+    which instance (seed) they touch.
+    """
+    return (
+        spec.generator, spec.k, spec.strategy, spec.params,
+        spec.max_steps, spec.max_seconds, bool(verify),
+    )
+
+
+def parse_task_request(document: Any) -> TaskRequest:
+    """Validate one ``/v1/task`` JSON document into a :class:`TaskRequest`.
+
+    Raises :class:`~repro.serve.http.HttpError` (400) with a
+    field-specific message on any schema violation.
+    """
+    if not isinstance(document, Mapping):
+        raise HttpError(400, "request body must be a JSON object")
+    unknown = set(document) - {"task", "verify", "deadline", "cache"}
+    if unknown:
+        raise HttpError(400, f"unknown request fields: {sorted(unknown)}")
+    task = document.get("task")
+    if not isinstance(task, Mapping):
+        raise HttpError(400, "'task' must be a JSON object (TaskSpec fields)")
+    try:
+        spec = TaskSpec.from_dict(task)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"invalid task: {exc}") from exc
+    verify = document.get("verify", False)
+    if not isinstance(verify, bool):
+        raise HttpError(400, "'verify' must be a boolean")
+    deadline = document.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool) or deadline <= 0:
+            raise HttpError(400, "'deadline' must be a positive number "
+                                 "of seconds")
+        deadline = float(deadline)
+    cache_mode = document.get("cache", "use")
+    if cache_mode not in CACHE_MODES:
+        raise HttpError(400, f"'cache' must be one of {CACHE_MODES}")
+    return TaskRequest(
+        spec=spec,
+        key=task_hash(spec),
+        verify=verify,
+        deadline=deadline,
+        cache_mode=cache_mode,
+    )
+
+
+def dumps(payload: Any) -> bytes:
+    """Canonical JSON encoding used for every response body."""
+    return json.dumps(payload, sort_keys=True).encode()

@@ -1,0 +1,465 @@
+"""The asyncio coalescing/allocation service (`repro serve`).
+
+One resident process turns the batch-oriented engine into a query
+surface: requests arrive as JSON over HTTP/1.1
+(:mod:`repro.serve.http`), pass **cache-aware admission**, are
+**micro-batched** with homogeneous peers, and execute on a
+**persistent worker pool** (:class:`repro.engine.pool.PersistentPool`)
+that amortizes process spawn and import cost across the service's
+lifetime.
+
+Request lifecycle (``POST /v1/task``):
+
+1. parse + validate into a :class:`repro.serve.protocol.TaskRequest`
+   (400 on schema violations);
+2. **cache probe** — the task's content address
+   (:func:`repro.engine.tasks.task_hash`) is looked up in the shared
+   :class:`~repro.engine.cache.ResultCache`; a reusable record answers
+   immediately (``serve.cache_hit``), optionally upgraded with a
+   verification certificate when the request asks for one the record
+   lacks; ``cache: "bypass"/"refresh"`` opt out;
+3. **admission** — bounded per-class queues reject overload with 429
+   and drain with 503 (:mod:`repro.serve.admission`);
+4. **micro-batch** — the request joins its homogeneity batch
+   (:mod:`repro.serve.batcher`) and the batch executes as one pool
+   dispatch, each task under its remaining request deadline;
+5. the record is written back to the cache (``ok`` always;
+   ``budget_exceeded`` only when no request deadline tightened the
+   task's own budget, so a deadline can never poison the cache for
+   deadline-free callers) and the response carries the record plus
+   serving metadata (cache disposition, batch size, queue time).
+
+Operational endpoints: ``GET /healthz`` (200, or 503 while draining),
+``GET /metrics`` (Prometheus text,
+:func:`repro.obs.export.to_prometheus`), ``POST /drain`` (stop
+admitting, flush batches, finish in-flight work, then report drained —
+the CLI exits at that point).  Failure semantics and tuning knobs are
+documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..engine.cache import ResultCache
+from ..engine.pool import PersistentPool
+from ..obs import Tracer, to_prometheus
+from .admission import AdmissionController, ClassLimit
+from .batcher import MicroBatcher
+from .http import (
+    DEFAULT_MAX_BODY,
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    render_response,
+)
+from .protocol import HEAVY, LIGHT, TaskRequest, batch_key, parse_task_request
+
+__all__ = ["ServeConfig", "Service", "REUSABLE_STATUSES"]
+
+#: Record statuses a cache probe may answer with (deterministic
+#: outcomes, matching :data:`repro.engine.campaign.REUSABLE_STATUSES`).
+REUSABLE_STATUSES = frozenset({"ok", "budget_exceeded"})
+
+#: HTTP status for each record status (the record itself is always in
+#: the body; budget_exceeded is a *result*, not a failure).
+_RECORD_HTTP_STATUS = {
+    "ok": 200,
+    "budget_exceeded": 200,
+    "timeout": 504,
+    "crashed": 500,
+    "error": 500,
+}
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one service instance (see docs/SERVING.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    verify_default: bool = False
+    batch_window: float = 0.005
+    batch_max: int = 16
+    light_queue: int = 128
+    light_concurrency: int = 8
+    heavy_queue: int = 16
+    heavy_concurrency: int = 2
+    task_timeout: Optional[float] = None
+    max_body: int = DEFAULT_MAX_BODY
+
+
+class _Pending:
+    """One admitted request awaiting its record."""
+
+    __slots__ = ("request", "future", "entered_at", "batch_size")
+
+    def __init__(self, request: TaskRequest,
+                 future: "asyncio.Future[Dict[str, Any]]") -> None:
+        self.request = request
+        self.future = future
+        self.entered_at = time.monotonic()
+        self.batch_size = 1
+
+
+class Service:
+    """The serving stack: admission → batcher → pool → cache → response."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.cache = (
+            ResultCache(config.cache_dir) if config.cache_dir else None
+        )
+        self.pool = PersistentPool(
+            workers=config.workers, tracer=self.tracer
+        )
+        self.admission = AdmissionController(
+            {
+                LIGHT: ClassLimit(config.light_queue,
+                                  config.light_concurrency),
+                HEAVY: ClassLimit(config.heavy_queue,
+                                  config.heavy_concurrency),
+            },
+            tracer=self.tracer,
+        )
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            window=config.batch_window,
+            max_batch=config.batch_max,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = time.monotonic()
+        self._drain_done = asyncio.Event()
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start accepting; returns the actual port (ephemeral
+        ports resolve here)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_at = time.monotonic()
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def wait_drained(self) -> None:
+        """Resolve after a ``/drain`` has finished all in-flight work."""
+        await self._drain_done.wait()
+
+    async def stop(self) -> None:
+        """Close the listener and the worker pool (idempotent)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.join()
+        await asyncio.to_thread(self.pool.close)
+
+    async def serve_until_drained(self) -> None:
+        """Run until a client drains the service (the CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self.wait_drained()
+            # let final responses flush before tearing the listener down
+            await asyncio.sleep(0.05)
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection + routing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one keep-alive connection until close or error."""
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body
+                    )
+                except HttpError as exc:
+                    writer.write(json_response(
+                        exc.status, {"error": str(exc)}, keep_alive=False,
+                    ))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                self.tracer.count("serve.http_requests")
+                response = await self._route(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, request: Request) -> bytes:
+        """Dispatch one parsed request to its endpoint handler."""
+        keep = request.keep_alive
+        route = (request.method, request.path)
+        try:
+            if route == ("POST", "/v1/task"):
+                return await self._handle_task(request)
+            if route == ("GET", "/healthz"):
+                return self._handle_healthz(keep)
+            if route == ("GET", "/metrics"):
+                return self._handle_metrics(keep)
+            if route == ("POST", "/drain"):
+                return await self._handle_drain(keep)
+            if request.path in ("/v1/task", "/healthz", "/metrics", "/drain"):
+                return json_response(
+                    405, {"error": f"method {request.method} not allowed "
+                                   f"on {request.path}"},
+                    keep_alive=keep,
+                )
+            return json_response(
+                404, {"error": f"unknown path {request.path}"},
+                keep_alive=keep,
+            )
+        except HttpError as exc:
+            return json_response(
+                exc.status, {"error": str(exc)}, keep_alive=keep
+            )
+        except Exception as exc:  # a handler bug must not kill the server
+            self.tracer.count("serve.errors")
+            return json_response(
+                500, {"error": f"internal error: {exc}"}, keep_alive=keep
+            )
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _handle_healthz(self, keep_alive: bool) -> bytes:
+        """``GET /healthz`` — liveness + readiness in one document."""
+        draining = self.admission.draining
+        payload = {
+            "status": "draining" if draining else "ok",
+            "uptime_seconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+            "in_system": self.admission.in_system(),
+            "pool_workers": self.config.workers,
+            "cache": self.cache is not None,
+        }
+        return json_response(503 if draining else 200, payload,
+                             keep_alive=keep_alive)
+
+    def _handle_metrics(self, keep_alive: bool) -> bytes:
+        """``GET /metrics`` — counters/spans/gauges as Prometheus text."""
+        gauges = self.admission.gauges()
+        gauges["serve_pool_workers"] = float(self.config.workers)
+        gauges["serve_batch_pending"] = float(self.batcher.pending())
+        gauges["serve_uptime_seconds"] = (
+            time.monotonic() - self._started_at
+        )
+        body = to_prometheus(self.tracer, gauges=gauges).encode()
+        return render_response(
+            200, body,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            keep_alive=keep_alive,
+        )
+
+    async def _handle_drain(self, keep_alive: bool) -> bytes:
+        """``POST /drain`` — stop admitting, finish in-flight, report."""
+        already = self.admission.draining
+        self.admission.start_drain()
+        self.batcher.flush_all()
+        await self.admission.wait_drained()
+        await self.batcher.join()
+        payload = {
+            "drained": True,
+            "already_draining": already,
+            "in_system": self.admission.in_system(),
+        }
+        response = json_response(200, payload, keep_alive=keep_alive)
+        self._drain_done.set()
+        return response
+
+    async def _handle_task(self, request: Request) -> bytes:
+        """``POST /v1/task`` — the serving hot path."""
+        task_request = parse_task_request(request.json())
+        if self.config.verify_default:
+            task_request.verify = True
+        keep = request.keep_alive
+        self.tracer.count("serve.requests")
+
+        # drain refuses *all* new work — even cache hits — so a
+        # draining replica empties deterministically
+        if self.admission.draining:
+            self.tracer.count("serve.rejected_503")
+            return json_response(
+                503, {"error": "draining: not accepting new work"},
+                keep_alive=keep,
+            )
+
+        cached = await self._cache_probe(task_request)
+        if cached is not None:
+            self.tracer.count("serve.cache_hit")
+            return self._record_response(
+                cached, served={"cache": "hit", "batch_size": 0,
+                                "queue_seconds": 0.0,
+                                "class": task_request.admission_class},
+                keep_alive=keep,
+            )
+        if self.cache is not None and task_request.cache_mode == "use":
+            self.tracer.count("serve.cache_miss")
+
+        cls = task_request.admission_class
+        rejection = self.admission.try_enter(cls)
+        if rejection is not None:
+            status, reason = rejection
+            return json_response(
+                status, {"error": reason, "class": cls}, keep_alive=keep
+            )
+        pending = _Pending(
+            task_request, asyncio.get_running_loop().create_future()
+        )
+        try:
+            self.batcher.submit(
+                batch_key(task_request.spec, task_request.verify), pending
+            )
+            record = await pending.future
+        finally:
+            self.admission.leave(cls)
+        queue_seconds = time.monotonic() - pending.entered_at
+        return self._record_response(
+            record,
+            served={
+                "cache": task_request.cache_mode
+                if task_request.cache_mode != "use" else "miss",
+                "batch_size": pending.batch_size,
+                "queue_seconds": round(queue_seconds, 6),
+                "class": cls,
+            },
+            keep_alive=keep,
+        )
+
+    # ------------------------------------------------------------------
+    # cache + dispatch
+    # ------------------------------------------------------------------
+    async def _cache_probe(
+        self, task_request: TaskRequest
+    ) -> Optional[Dict[str, Any]]:
+        """A reusable cached record for the request, or None.
+
+        A hit that lacks the verification the request asks for is
+        upgraded in place (the record is certified off-loop and written
+        back), mirroring the campaign engine's cache-hit verification
+        upgrade.
+        """
+        if self.cache is None or task_request.cache_mode != "use":
+            return None
+        record = await asyncio.to_thread(self.cache.get, task_request.key)
+        if record is None or record.get("status") not in REUSABLE_STATUSES:
+            return None
+        if task_request.verify and "verification" not in record:
+            from ..analysis.engine_check import verify_record
+
+            record["verification"] = await asyncio.to_thread(
+                verify_record, task_request.spec, record,
+                None, self.tracer,
+            )
+            self.tracer.count("serve.verify_upgrades")
+            await asyncio.to_thread(
+                self.cache.put, task_request.key, record
+            )
+        return record
+
+    def _cache_write(
+        self, task_request: TaskRequest, record: Dict[str, Any]
+    ) -> None:
+        """Write a fresh record back, unless a request deadline could
+        have shaped the outcome (see the module docstring)."""
+        if self.cache is None or task_request.cache_mode == "bypass":
+            return
+        status = record.get("status")
+        cacheable = status == "ok" or (
+            status == "budget_exceeded" and task_request.deadline is None
+        )
+        if cacheable:
+            self.cache.put(task_request.key, record)
+
+    async def _run_batch(self, items: List[_Pending]) -> None:
+        """Execute one homogeneous batch as a single pool dispatch."""
+        cls = items[0].request.admission_class
+        verify = items[0].request.verify
+        now = time.monotonic()
+        specs = [item.request.spec for item in items]
+        deadlines: List[Optional[float]] = []
+        for item in items:
+            if item.request.deadline is None:
+                deadlines.append(None)
+            else:
+                deadlines.append(
+                    item.request.deadline - (now - item.entered_at)
+                )
+        timeout = (
+            None if self.config.task_timeout is None
+            else self.config.task_timeout * len(items)
+        )
+        self.tracer.count("serve.batches")
+        self.tracer.count("serve.batched_tasks", len(items))
+        if len(items) > 1:
+            self.tracer.count("serve.batch_coalesced", len(items) - 1)
+        try:
+            async with self.admission.slot(cls):
+                with self.tracer.span("serve/dispatch"):
+                    records = await asyncio.to_thread(
+                        self.pool.submit, specs, deadlines, verify, timeout
+                    )
+        except Exception as exc:
+            for item in items:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, record in zip(items, records):
+            item.batch_size = len(items)
+            if record.get("trace"):
+                self.tracer.absorb(record["trace"])
+            try:
+                self._cache_write(item.request, record)
+            except OSError:
+                self.tracer.count("serve.cache_write_errors")
+            if not item.future.done():
+                item.future.set_result(record)
+
+    def _record_response(
+        self,
+        record: Dict[str, Any],
+        served: Dict[str, Any],
+        keep_alive: bool,
+    ) -> bytes:
+        """Wrap a task record and its serving metadata as a response."""
+        status = _RECORD_HTTP_STATUS.get(record.get("status", "error"), 500)
+        slim = dict(record)
+        slim.pop("trace", None)  # per-task traces are large; /metrics
+        # carries the aggregated view
+        return json_response(
+            status, {"record": slim, "served": served},
+            keep_alive=keep_alive,
+        )

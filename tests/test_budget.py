@@ -56,6 +56,35 @@ class TestBudget:
             Budget(max_seconds=-1.0)
 
 
+class TestFromDeadline:
+    def test_builds_time_budget(self):
+        budget = Budget.from_deadline(5.0)
+        assert budget.max_seconds == 5.0
+        assert budget.max_steps is None
+        budget.check()  # plenty of time left
+
+    def test_short_deadline_expires(self):
+        budget = Budget.from_deadline(0.01)
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceeded) as exc:
+            for _ in range(10_000):
+                budget.check()
+        assert exc.value.reason == "deadline"
+
+    def test_combines_with_step_cap(self):
+        budget = Budget.from_deadline(60.0, max_steps=3)
+        for _ in range(3):
+            budget.check()
+        with pytest.raises(BudgetExceeded) as exc:
+            budget.check()
+        assert exc.value.reason == "steps"
+
+    @pytest.mark.parametrize("seconds", [0, -1.0, None])
+    def test_rejects_non_positive_deadlines(self, seconds):
+        with pytest.raises(ValueError):
+            Budget.from_deadline(seconds)
+
+
 class TestSolverHooks:
     def test_exact_coalescing_budget(self):
         inst = pressure_instance(5, 7, rng=random.Random(3))

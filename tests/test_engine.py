@@ -34,6 +34,16 @@ def row_task(seed, k, params, tracer, budget):
     return {"seed": seed, "k": k, "value": seed * 10 + params.get("off", 0)}
 
 
+def spin_task(seed, k, params, tracer, budget):
+    """Custom task that burns budget cooperatively until it raises."""
+    import time
+
+    end = time.monotonic() + params.get("max_wall", 10.0)
+    while time.monotonic() < end:
+        budget.check()
+    return {"spun": True}
+
+
 # ----------------------------------------------------------------------
 # task specs and hashing
 # ----------------------------------------------------------------------
@@ -148,6 +158,31 @@ class TestRunTask:
         a, b = run_task(spec), run_task(spec)
         assert a["result_hash"] == b["result_hash"]
 
+    def test_deadline_tightens_spec_budget(self):
+        spec = TaskSpec(generator="tests.test_engine:spin_task",
+                        strategy="call", seed=1, max_seconds=60.0)
+        record = run_task(spec, deadline=0.05)
+        assert record["status"] == "budget_exceeded"
+        assert record["payload"]["reason"] == "deadline"
+        # the deadline, not the spec's minute of budget, stopped it
+        assert record["seconds"] < 5.0
+        assert spec.max_seconds == 60.0
+
+    def test_expired_deadline_is_a_result_not_an_error(self):
+        spec = TaskSpec(generator="sleep", seed=0,
+                        params={"seconds": 30.0})
+        record = run_task(spec, deadline=-1.0)
+        assert record["status"] == "budget_exceeded"
+        assert record["payload"]["reason"] == "deadline"
+        assert record["payload"]["steps"] == 0
+
+    def test_deadline_never_enters_the_task_hash(self):
+        spec = TaskSpec(generator="pressure", seed=2, k=6,
+                        strategy="briggs", params={"rounds": 5})
+        record = run_task(spec, deadline=30.0)
+        assert record["status"] == "ok"
+        assert record["key"] == task_hash(spec)
+
 
 # ----------------------------------------------------------------------
 # cache
@@ -173,6 +208,43 @@ class TestResultCache:
         # and a record whose key field disagrees is also a miss
         cache.put(key, {"key": "ff" * 8, "status": "ok"})
         assert cache.get(key) is None
+
+    def test_concurrent_writers_never_corrupt(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "ee" * 8
+        threads, per_thread = 8, 50
+        barrier = threading.Barrier(threads)
+        payloads = [
+            {"key": key, "status": "ok", "payload": {"writer": i}}
+            for i in range(threads)
+        ]
+        seen_bad = []
+
+        def writer(i):
+            barrier.wait()
+            for _ in range(per_thread):
+                cache.put(key, payloads[i])
+                record = cache.get(key)
+                # readers racing writers may only ever observe a
+                # complete record from *some* writer — never a torn one
+                if record is not None and record not in payloads:
+                    seen_bad.append(record)
+
+        workers = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert seen_bad == []
+        assert cache.get(key) in payloads
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +293,73 @@ class TestPool:
                  for s in range(6)]
         records = run_tasks(specs, workers=3, timeout=60)
         assert [r["task"]["seed"] for r in records] == list(range(6))
+
+
+# ----------------------------------------------------------------------
+# persistent pool (the serving substrate)
+# ----------------------------------------------------------------------
+class TestPersistentPool:
+    def _specs(self, n):
+        return [TaskSpec(generator="pressure", seed=s, k=6,
+                         strategy="briggs", params={"rounds": 4})
+                for s in range(n)]
+
+    def test_inline_batch_in_order(self):
+        from repro.engine import PersistentPool
+
+        with PersistentPool(workers=0) as pool:
+            records = pool.submit(self._specs(4))
+        assert [r["status"] for r in records] == ["ok"] * 4
+        assert [r["task"]["seed"] for r in records] == list(range(4))
+
+    def test_worker_survives_across_dispatches(self):
+        from repro.engine import PersistentPool
+
+        with PersistentPool(workers=1) as pool:
+            first = pool.submit(self._specs(2), timeout=60)
+            second = pool.submit(self._specs(2), timeout=60)
+        assert [r["status"] for r in first + second] == ["ok"] * 4
+
+    def test_crash_contained_and_pool_recovers(self):
+        from repro.engine import PersistentPool
+
+        crash = [TaskSpec(generator="crash", seed=0)]
+        with PersistentPool(workers=1) as pool:
+            [record] = pool.submit(crash, timeout=30)
+            assert record["status"] == "crashed"
+            # the dead worker was replaced; the pool still serves
+            [ok] = pool.submit(self._specs(1), timeout=60)
+            assert ok["status"] == "ok"
+
+    def test_timeout_kills_and_respawns(self):
+        from repro.engine import PersistentPool
+
+        sleep = [TaskSpec(generator="sleep", seed=0,
+                          params={"seconds": 30.0})]
+        tracer = Tracer()
+        with PersistentPool(workers=1, tracer=tracer) as pool:
+            [record] = pool.submit(sleep, timeout=0.3)
+            assert record["status"] == "timeout"
+            [ok] = pool.submit(self._specs(1), timeout=60)
+            assert ok["status"] == "ok"
+
+    def test_deadlines_feed_cooperative_budgets(self):
+        from repro.engine import PersistentPool
+
+        sleep = [TaskSpec(generator="sleep", seed=0,
+                          params={"seconds": 30.0})]
+        with PersistentPool(workers=0) as pool:
+            [record] = pool.submit(sleep, deadlines=[-1.0])
+        assert record["status"] == "budget_exceeded"
+        assert record["payload"]["reason"] == "deadline"
+
+    def test_submit_after_close_raises(self):
+        from repro.engine import PersistentPool
+
+        pool = PersistentPool(workers=0)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(self._specs(1))
 
 
 # ----------------------------------------------------------------------

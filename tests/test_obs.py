@@ -109,6 +109,86 @@ def test_null_tracer_span_is_shared_and_reentrant():
     assert s1 is s2
 
 
+# ----------------------------------------------------------- thread safety
+
+def test_concurrent_counts_are_not_lost():
+    import threading
+
+    t = Tracer()
+    threads, per_thread = 8, 2_000
+    barrier = threading.Barrier(threads)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(per_thread):
+            t.count("hits")
+            t.count("weighted", 0.5)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert t.counters["hits"] == threads * per_thread
+    assert t.counters["weighted"] == pytest.approx(
+        threads * per_thread * 0.5
+    )
+
+
+def test_span_stacks_are_per_thread():
+    import threading
+
+    t = Tracer()
+    threads, per_thread = 6, 200
+    barrier = threading.Barrier(threads)
+
+    def hammer(name):
+        barrier.wait()
+        for _ in range(per_thread):
+            with t.span(name):
+                with t.span("inner"):
+                    pass
+
+    workers = [
+        threading.Thread(target=hammer, args=(f"outer{i}",))
+        for i in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    spans = t.spans()
+    # nesting never crosses threads: every inner lives under its own
+    # thread's outer, and no call is lost
+    for i in range(threads):
+        assert spans[f"outer{i}"]["calls"] == per_thread
+        assert spans[f"outer{i}/inner"]["calls"] == per_thread
+    assert not any("/outer" in name for name in spans)
+
+
+def test_concurrent_absorb_merges_all_reports():
+    import threading
+
+    t = Tracer()
+    donor = Tracer()
+    donor.count("c", 1)
+    report = donor.report()
+    threads, per_thread = 8, 500
+    barrier = threading.Barrier(threads)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(per_thread):
+            t.absorb(report)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert t.counters["c"] == threads * per_thread
+
+
 # ------------------------------------------------------------------- export
 
 def _sample_tracer(n=1):

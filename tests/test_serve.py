@@ -1,0 +1,711 @@
+"""Tests for repro.serve: HTTP codec, micro-batcher window logic,
+admission control, request schema, the load-generator helpers, and
+end-to-end service behaviour on an ephemeral port (single requests,
+batched bursts, cache-hit replay, backpressure, deadlines, drain)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.tasks import TaskSpec, task_hash
+from repro.serve import (
+    AdmissionController,
+    ClassLimit,
+    LoadConfig,
+    MicroBatcher,
+    ServeConfig,
+    Service,
+    batch_key,
+    parse_task_request,
+    run_load,
+)
+from repro.serve.client import percentile, request_once, wait_healthy
+from repro.serve.http import (
+    HttpError,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+from repro.serve.protocol import HEAVY, LIGHT, request_class
+
+
+def run(coro, timeout=60.0):
+    """Drive one async test body with a hang backstop."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def reader_for(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+# ----------------------------------------------------------------------
+# HTTP codec
+# ----------------------------------------------------------------------
+class TestHttpCodec:
+    def test_request_roundtrip(self):
+        async def body():
+            wire = render_request("post", "/v1/task", b'{"a": 1}',
+                                  host="example")
+            request = await read_request(reader_for(wire))
+            assert request.method == "POST"
+            assert request.path == "/v1/task"
+            assert request.json() == {"a": 1}
+            assert request.headers["host"] == "example"
+            assert request.keep_alive
+        run(body())
+
+    def test_response_roundtrip(self):
+        async def body():
+            wire = render_response(429, b'{"error": "full"}',
+                                   keep_alive=False)
+            response = await read_response(reader_for(wire))
+            assert response.status == 429
+            assert response.json() == {"error": "full"}
+            assert response.headers["connection"] == "close"
+        run(body())
+
+    def test_query_string_split(self):
+        async def body():
+            wire = render_request("GET", "/metrics?format=prom")
+            request = await read_request(reader_for(wire))
+            assert request.path == "/metrics"
+            assert request.query == "format=prom"
+        run(body())
+
+    def test_connection_close_header(self):
+        async def body():
+            wire = render_request("GET", "/healthz", keep_alive=False)
+            request = await read_request(reader_for(wire))
+            assert not request.keep_alive
+        run(body())
+
+    def test_clean_eof_is_none(self):
+        async def body():
+            assert await read_request(reader_for(b"")) is None
+            assert await read_response(reader_for(b"")) is None
+        run(body())
+
+    def test_malformed_request_line(self):
+        async def body():
+            with pytest.raises(HttpError) as exc:
+                await read_request(reader_for(b"NONSENSE\r\n\r\n"))
+            assert exc.value.status == 400
+        run(body())
+
+    def test_malformed_header_line(self):
+        async def body():
+            wire = b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"
+            with pytest.raises(HttpError) as exc:
+                await read_request(reader_for(wire))
+            assert exc.value.status == 400
+        run(body())
+
+    def test_bad_content_length(self):
+        async def body():
+            for value in (b"abc", b"-5"):
+                wire = (b"POST / HTTP/1.1\r\ncontent-length: "
+                        + value + b"\r\n\r\n")
+                with pytest.raises(HttpError) as exc:
+                    await read_request(reader_for(wire))
+                assert exc.value.status == 400
+        run(body())
+
+    def test_body_over_limit_is_413(self):
+        async def body():
+            wire = render_request("POST", "/v1/task", b"x" * 100)
+            with pytest.raises(HttpError) as exc:
+                await read_request(reader_for(wire), max_body=10)
+            assert exc.value.status == 413
+        run(body())
+
+    def test_huge_headers_are_413(self):
+        async def body():
+            wire = (b"GET / HTTP/1.1\r\nx-pad: "
+                    + b"a" * (70 * 1024) + b"\r\n\r\n")
+            with pytest.raises(HttpError) as exc:
+                await read_request(reader_for(wire))
+            assert exc.value.status == 413
+        run(body())
+
+    def test_chunked_rejected_501(self):
+        async def body():
+            wire = (b"POST / HTTP/1.1\r\n"
+                    b"transfer-encoding: chunked\r\n\r\n")
+            with pytest.raises(HttpError) as exc:
+                await read_request(reader_for(wire))
+            assert exc.value.status == 501
+        run(body())
+
+    def test_truncated_body_is_400(self):
+        async def body():
+            wire = b"POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort"
+            with pytest.raises(HttpError) as exc:
+                await read_request(reader_for(wire))
+            assert exc.value.status == 400
+        run(body())
+
+    def test_invalid_json_body_raises_400(self):
+        async def body():
+            wire = render_request("POST", "/", b"{nope")
+            request = await read_request(reader_for(wire))
+            with pytest.raises(HttpError) as exc:
+                request.json()
+            assert exc.value.status == 400
+        run(body())
+
+
+# ----------------------------------------------------------------------
+# micro-batcher
+# ----------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_flushes_when_batch_fills(self):
+        async def body():
+            batches = []
+
+            async def dispatch(items):
+                batches.append(items)
+
+            batcher = MicroBatcher(dispatch, window=10.0, max_batch=3)
+            for i in range(3):
+                batcher.submit("k", i)
+            assert batcher.pending() == 0  # flushed at max_batch
+            await batcher.join()
+            assert batches == [[0, 1, 2]]
+        run(body())
+
+    def test_window_flushes_partial_batch(self):
+        async def body():
+            batches = []
+
+            async def dispatch(items):
+                batches.append(items)
+
+            batcher = MicroBatcher(dispatch, window=0.02, max_batch=100)
+            batcher.submit("k", "a")
+            batcher.submit("k", "b")
+            assert batcher.pending() == 2
+            await asyncio.sleep(0.1)
+            await batcher.join()
+            assert batches == [["a", "b"]]
+        run(body())
+
+    def test_zero_window_disables_coalescing(self):
+        async def body():
+            batches = []
+
+            async def dispatch(items):
+                batches.append(items)
+
+            batcher = MicroBatcher(dispatch, window=0.0, max_batch=100)
+            batcher.submit("k", 1)
+            batcher.submit("k", 2)
+            await batcher.join()
+            assert batches == [[1], [2]]
+        run(body())
+
+    def test_keys_do_not_mix(self):
+        async def body():
+            batches = []
+
+            async def dispatch(items):
+                batches.append(sorted(items))
+
+            batcher = MicroBatcher(dispatch, window=10.0, max_batch=2)
+            batcher.submit("x", 1)
+            batcher.submit("y", 10)
+            batcher.submit("x", 2)
+            batcher.submit("y", 20)
+            await batcher.join()
+            assert sorted(batches) == [[1, 2], [10, 20]]
+        run(body())
+
+    def test_flush_all_drains_buffers(self):
+        async def body():
+            batches = []
+
+            async def dispatch(items):
+                batches.append(items)
+
+            batcher = MicroBatcher(dispatch, window=10.0, max_batch=100)
+            batcher.submit("x", 1)
+            batcher.submit("y", 2)
+            assert batcher.pending() == 2
+            batcher.flush_all()
+            assert batcher.pending() == 0
+            await batcher.join()
+            assert sorted(batches) == [[1], [2]]
+        run(body())
+
+    def test_validation(self):
+        async def dispatch(items):  # pragma: no cover - never called
+            pass
+
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch, window=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch, max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_queue_bound_gives_429(self):
+        async def body():
+            admission = AdmissionController(
+                {"light": ClassLimit(2, 1)}
+            )
+            assert admission.try_enter("light") is None
+            assert admission.try_enter("light") is None
+            status, reason = admission.try_enter("light")
+            assert status == 429
+            assert "queue full" in reason
+            admission.leave("light")
+            assert admission.try_enter("light") is None
+            assert admission.in_system("light") == 2
+        run(body())
+
+    def test_drain_gives_503_and_resolves_when_empty(self):
+        async def body():
+            admission = AdmissionController(
+                {"light": ClassLimit(4, 2)}
+            )
+            assert admission.try_enter("light") is None
+            admission.start_drain()
+            assert admission.draining
+            status, _reason = admission.try_enter("light")
+            assert status == 503
+
+            waiter = asyncio.create_task(admission.wait_drained())
+            await asyncio.sleep(0.01)
+            assert not waiter.done()  # one request still in system
+            admission.leave("light")
+            await asyncio.wait_for(waiter, 1.0)
+        run(body())
+
+    def test_slot_caps_concurrency(self):
+        async def body():
+            admission = AdmissionController(
+                {"heavy": ClassLimit(8, 2)}
+            )
+            running = 0
+            peak = 0
+
+            async def work():
+                nonlocal running, peak
+                async with admission.slot("heavy"):
+                    running += 1
+                    peak = max(peak, running)
+                    await asyncio.sleep(0.02)
+                    running -= 1
+
+            await asyncio.gather(*[work() for _ in range(6)])
+            assert peak == 2
+        run(body())
+
+    def test_unknown_class_raises(self):
+        async def body():
+            admission = AdmissionController({"light": ClassLimit(1, 1)})
+            with pytest.raises(ValueError):
+                admission.try_enter("mystery")
+        run(body())
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            ClassLimit(0, 1)
+        with pytest.raises(ValueError):
+            ClassLimit(1, 0)
+
+    def test_gauges(self):
+        async def body():
+            admission = AdmissionController(
+                {"light": ClassLimit(5, 2)}
+            )
+            admission.try_enter("light")
+            gauges = admission.gauges()
+            assert gauges["serve_draining"] == 0.0
+            assert gauges['serve_in_system{class="light"}'] == 1.0
+            assert gauges['serve_queue_limit{class="light"}'] == 5.0
+        run(body())
+
+
+# ----------------------------------------------------------------------
+# request schema
+# ----------------------------------------------------------------------
+def _task_doc(seed=1, **extra):
+    doc = {"task": {"generator": "pressure", "seed": seed, "k": 5,
+                    "strategy": "briggs", "params": {"rounds": 4}}}
+    doc.update(extra)
+    return doc
+
+
+class TestProtocol:
+    def test_parse_minimal(self):
+        request = parse_task_request(_task_doc())
+        assert request.spec.generator == "pressure"
+        assert request.key == task_hash(request.spec)
+        assert request.verify is False
+        assert request.deadline is None
+        assert request.cache_mode == "use"
+        assert request.admission_class == LIGHT
+
+    def test_parse_full(self):
+        request = parse_task_request(
+            _task_doc(verify=True, deadline=2, cache="refresh")
+        )
+        assert request.verify is True
+        assert request.deadline == 2.0
+        assert request.cache_mode == "refresh"
+
+    @pytest.mark.parametrize("document", [
+        "not an object",
+        {"task": {"generator": "pressure", "seed": 1}, "bogus": 1},
+        {},
+        {"task": "nope"},
+        {"task": {"generator": "pressure"}},  # seed is mandatory
+        _task_doc(verify="yes"),
+        _task_doc(deadline=0),
+        _task_doc(deadline=-2.0),
+        _task_doc(deadline=True),
+        _task_doc(cache="maybe"),
+    ])
+    def test_rejects_bad_documents(self, document):
+        with pytest.raises(HttpError) as exc:
+            parse_task_request(document)
+        assert exc.value.status == 400
+
+    def test_batch_key_ignores_seed_only(self):
+        a = TaskSpec(generator="pressure", seed=1, k=5, strategy="briggs",
+                     params={"rounds": 4})
+        b = TaskSpec(generator="pressure", seed=2, k=5, strategy="briggs",
+                     params={"rounds": 4})
+        c = TaskSpec(generator="pressure", seed=1, k=5, strategy="brute",
+                     params={"rounds": 4})
+        assert batch_key(a, False) == batch_key(b, False)
+        assert batch_key(a, False) != batch_key(c, False)
+        assert batch_key(a, False) != batch_key(a, True)
+
+    def test_request_class(self):
+        light = TaskSpec(generator="pressure", seed=1, k=5,
+                         strategy="briggs")
+        exact = TaskSpec(generator="pressure", seed=1, k=5,
+                         strategy="exact")
+        fault = TaskSpec(generator="sleep", seed=1)
+        assert request_class(light) == LIGHT
+        assert request_class(exact) == HEAVY
+        assert request_class(fault) == HEAVY
+
+
+# ----------------------------------------------------------------------
+# end-to-end service
+# ----------------------------------------------------------------------
+async def _start(**overrides) -> "tuple[Service, str]":
+    overrides.setdefault("port", 0)
+    overrides.setdefault("workers", 0)
+    service = Service(ServeConfig(**overrides))
+    port = await service.start()
+    return service, f"http://127.0.0.1:{port}"
+
+
+class TestServiceEndToEnd:
+    def test_single_request_roundtrip(self):
+        async def body():
+            service, url = await _start()
+            try:
+                health = await wait_healthy(url, timeout=5.0)
+                assert health["status"] == "ok"
+                response = await request_once(
+                    url, "POST", "/v1/task", _task_doc()
+                )
+                assert response.status == 200
+                document = response.json()
+                assert document["record"]["status"] == "ok"
+                assert "trace" not in document["record"]
+                assert document["served"]["cache"] == "miss"
+                assert document["served"]["class"] == LIGHT
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_routing_errors(self):
+        async def body():
+            service, url = await _start()
+            try:
+                response = await request_once(url, "GET", "/nope")
+                assert response.status == 404
+                response = await request_once(url, "GET", "/v1/task")
+                assert response.status == 405
+                response = await request_once(
+                    url, "POST", "/v1/task", {"bogus": 1}
+                )
+                assert response.status == 400
+                assert "unknown request fields" in response.json()["error"]
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_burst_is_batched(self):
+        async def body():
+            service, url = await _start(batch_window=0.05, batch_max=16)
+            try:
+                responses = await asyncio.gather(*[
+                    request_once(url, "POST", "/v1/task", _task_doc(seed=s))
+                    for s in range(6)
+                ])
+                assert [r.status for r in responses] == [200] * 6
+                sizes = [r.json()["served"]["batch_size"]
+                         for r in responses]
+                assert max(sizes) >= 2  # coalesced into a shared dispatch
+                assert service.tracer.counters["serve.batch_coalesced"] >= 1
+                seeds = sorted(
+                    r.json()["record"]["task"]["seed"] for r in responses
+                )
+                assert seeds == list(range(6))  # everyone got *their* record
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_cache_replay_and_modes(self, tmp_path):
+        async def body():
+            service, url = await _start(cache_dir=str(tmp_path / "c"))
+            try:
+                first = await request_once(url, "POST", "/v1/task",
+                                           _task_doc())
+                assert first.json()["served"]["cache"] == "miss"
+                second = await request_once(url, "POST", "/v1/task",
+                                            _task_doc())
+                assert second.status == 200
+                assert second.json()["served"]["cache"] == "hit"
+                assert (second.json()["record"]["result_hash"]
+                        == first.json()["record"]["result_hash"])
+                assert service.tracer.counters["serve.cache_hit"] == 1
+
+                bypass = await request_once(
+                    url, "POST", "/v1/task", _task_doc(cache="bypass")
+                )
+                assert bypass.json()["served"]["cache"] == "bypass"
+                refresh = await request_once(
+                    url, "POST", "/v1/task", _task_doc(cache="refresh")
+                )
+                assert refresh.json()["served"]["cache"] == "refresh"
+                # only the probe-and-hit path counts as a hit
+                assert service.tracer.counters["serve.cache_hit"] == 1
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_cache_hit_verification_upgrade(self, tmp_path):
+        async def body():
+            service, url = await _start(cache_dir=str(tmp_path / "c"))
+            try:
+                plain = await request_once(url, "POST", "/v1/task",
+                                           _task_doc())
+                assert "verification" not in plain.json()["record"]
+                upgraded = await request_once(
+                    url, "POST", "/v1/task", _task_doc(verify=True)
+                )
+                document = upgraded.json()
+                assert document["served"]["cache"] == "hit"
+                assert document["record"]["verification"]["status"] \
+                    == "certified"
+                assert service.tracer.counters["serve.verify_upgrades"] == 1
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_backpressure_429_under_burst(self):
+        async def body():
+            service, url = await _start(
+                heavy_queue=1, heavy_concurrency=1, batch_window=0.0,
+            )
+            try:
+                doc = {"task": {"generator": "sleep", "seed": 0,
+                                "params": {"seconds": 0.3}}}
+                responses = await asyncio.gather(*[
+                    request_once(url, "POST", "/v1/task",
+                                 {**doc, "task": {**doc["task"], "seed": s}})
+                    for s in range(4)
+                ])
+                statuses = sorted(r.status for r in responses)
+                assert statuses.count(200) == 1
+                assert statuses.count(429) == 3
+                rejected = [r for r in responses if r.status == 429]
+                assert all("queue full" in r.json()["error"]
+                           for r in rejected)
+                assert service.tracer.counters["serve.rejected_429"] == 3
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_expired_deadline_is_budget_exceeded(self, tmp_path):
+        async def body():
+            service, url = await _start(
+                cache_dir=str(tmp_path / "c"), batch_window=0.01,
+            )
+            try:
+                doc = {"task": {"generator": "sleep", "seed": 0,
+                                "params": {"seconds": 30.0}},
+                       "deadline": 0.001}
+                response = await request_once(url, "POST", "/v1/task", doc)
+                assert response.status == 200
+                record = response.json()["record"]
+                assert record["status"] == "budget_exceeded"
+                assert record["payload"]["reason"] == "deadline"
+                # deadline-shaped outcomes must never enter the cache
+                spec = TaskSpec(generator="sleep", seed=0,
+                                params={"seconds": 30.0})
+                assert service.cache.get(task_hash(spec)) is None
+            finally:
+                await service.stop()
+        run(body(), timeout=20.0)
+
+    def test_metrics_exposition(self):
+        async def body():
+            service, url = await _start()
+            try:
+                await request_once(url, "POST", "/v1/task", _task_doc())
+                response = await request_once(url, "GET", "/metrics")
+                assert response.status == 200
+                assert response.headers["content-type"].startswith(
+                    "text/plain"
+                )
+                text = response.body.decode()
+                assert "repro_serve_requests_total 1" in text
+                assert "# TYPE repro_serve_requests_total counter" in text
+                assert "repro_serve_pool_workers 0" in text
+                assert 'repro_serve_in_system{class="light"} 0' in text
+                assert "repro_serve_uptime_seconds" in text
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_drain_refuses_new_work_even_cached(self, tmp_path):
+        async def body():
+            service, url = await _start(cache_dir=str(tmp_path / "c"))
+            try:
+                await request_once(url, "POST", "/v1/task", _task_doc())
+                report = await request_once(url, "POST", "/drain")
+                assert report.status == 200
+                assert report.json()["drained"] is True
+                assert report.json()["in_system"] == 0
+
+                # the same request is cached, but drain refuses it anyway
+                refused = await request_once(url, "POST", "/v1/task",
+                                             _task_doc())
+                assert refused.status == 503
+                health = await request_once(url, "GET", "/healthz")
+                assert health.status == 503
+                assert health.json()["status"] == "draining"
+                await asyncio.wait_for(service.wait_drained(), 5.0)
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_error_record_maps_to_500(self):
+        async def body():
+            # a real subprocess worker: "crash" calls os._exit, which
+            # inline (workers=0) execution cannot contain
+            service, url = await _start(workers=1)
+            try:
+                doc = {"task": {"generator": "crash", "seed": 0}}
+                response = await request_once(url, "POST", "/v1/task", doc)
+                assert response.status == 500
+                assert response.json()["record"]["status"] in (
+                    "crashed", "error",
+                )
+            finally:
+                await service.stop()
+        run(body())
+
+
+# ----------------------------------------------------------------------
+# load generator
+# ----------------------------------------------------------------------
+class TestClient:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 0.99) == 4.0
+
+    def test_load_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(mode="sideways")
+        with pytest.raises(ValueError):
+            LoadConfig(requests=0)
+        with pytest.raises(ValueError):
+            LoadConfig(concurrency=0)
+        with pytest.raises(ValueError):
+            LoadConfig(mode="open", rate=0)
+
+    def test_task_document_seed_cycle(self):
+        config = LoadConfig(requests=10, distinct_seeds=3, seed_base=100,
+                            verify=True, deadline=1.5, cache_mode="bypass")
+        seeds = [config.task_document(i)["task"]["seed"] for i in range(6)]
+        assert seeds == [100, 101, 102, 100, 101, 102]
+        document = config.task_document(0)
+        assert document["verify"] is True
+        assert document["deadline"] == 1.5
+        assert document["cache"] == "bypass"
+
+    def test_closed_loop_run_report(self, tmp_path):
+        async def body():
+            service, url = await _start(cache_dir=str(tmp_path / "c"))
+            try:
+                config = LoadConfig(
+                    url=url, requests=8, concurrency=2,
+                    generator="pressure", strategy="briggs", k=5,
+                    params={"rounds": 4},
+                )
+                report = await run_load(config)
+                assert report["completed"] == 8
+                assert report["transport_errors"] == 0
+                assert report["http_statuses"] == {"200": 8}
+                assert report["record_statuses"] == {"ok": 8}
+                assert report["cache_hits"] == 0
+                assert report["latency_ms"]["p50"] <= \
+                    report["latency_ms"]["max"]
+
+                replay = await run_load(config)
+                assert replay["cache_hits"] == 8
+            finally:
+                await service.stop()
+        run(body())
+
+    def test_open_loop_mode(self):
+        async def body():
+            service, url = await _start()
+            try:
+                config = LoadConfig(
+                    url=url, requests=5, mode="open", rate=200.0,
+                    generator="pressure", strategy="briggs", k=5,
+                    params={"rounds": 4},
+                )
+                report = await run_load(config)
+                assert report["completed"] == 5
+                assert report["mode"] == "open"
+                assert report["offered_rate_rps"] == 200.0
+            finally:
+                await service.stop()
+        run(body())
+
+
+# ----------------------------------------------------------------------
+# atomic cache writes under the server's concurrency
+# ----------------------------------------------------------------------
+class TestServeCacheIntegrity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 8
+        cache.put(key, {"key": key, "status": "ok"})
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert cache.get(key)["status"] == "ok"
