@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Runnable wrapper for the pinned kernel snapshot suite.
+
+Equivalent to ``python -m repro bench ...`` but runnable straight from
+a checkout without setting ``PYTHONPATH``::
+
+    python benchmarks/snapshot.py snapshot
+    python benchmarks/snapshot.py compare BENCH_<rev>.json
+
+See ``docs/PERFORMANCE.md`` for the artifact format and the
+regression-gate policy.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

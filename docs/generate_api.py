@@ -22,7 +22,8 @@ import pkgutil
 import sys
 
 MODULES = [
-    "repro.graphs.graph", "repro.graphs.interference", "repro.graphs.chordal",
+    "repro.graphs.graph", "repro.graphs.interference", "repro.graphs.dense",
+    "repro.graphs.chordal",
     "repro.graphs.coloring", "repro.graphs.greedy", "repro.graphs.generators",
     "repro.graphs.perfect", "repro.graphs.interval", "repro.graphs.io",
     "repro.ir.instructions", "repro.ir.cfg", "repro.ir.builder",
@@ -37,7 +38,8 @@ MODULES = [
     "repro.coalescing.node_merging",
     "repro.allocator.spill", "repro.allocator.chaitin", "repro.allocator.irc",
     "repro.allocator.ssa_allocator", "repro.allocator.local",
-    "repro.obs.tracer", "repro.obs.export",
+    "repro.obs.tracer", "repro.obs.export", "repro.obs.names",
+    "repro.bench.snapshot",
     "repro.budget",
     "repro.engine.tasks", "repro.engine.pool", "repro.engine.cache",
     "repro.engine.campaign",

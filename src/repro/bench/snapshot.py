@@ -1,0 +1,305 @@
+"""The pinned kernel suite behind ``repro bench snapshot``.
+
+Every case runs the *same algorithm* in two backends — ``dense``
+(:mod:`repro.graphs.dense` bitset kernels) and ``dict`` (the
+dict-of-set reference implementations) — on fixed-seed instances, so a
+snapshot records two things per row:
+
+* **wall_ms** — the minimum wall time over ``repeats`` untraced runs
+  (minimum, because the interesting quantity is the cost of the work,
+  not of the scheduler noise);
+* **counters** — the :data:`~repro.obs.names.KERNEL_WORK_COUNTERS`
+  from one traced run.  Counting follows the size-of-data-consumed
+  convention of :mod:`repro.obs.names`, so the values are *exact*:
+  regenerating a snapshot on any machine reproduces them bit-for-bit,
+  and the regression gate can demand equality instead of a tolerance.
+
+:func:`run_snapshot` also enforces the dense claim itself: for every
+(kernel, instance) pair the dense backend's total work (elements
+scanned + words merged) must be strictly below the dict backend's.  A
+snapshot that cannot prove the win fails instead of recording it.
+
+Schema (``SCHEMA_VERSION = 1``)::
+
+    {"schema_version": 1, "rev": "abc1234", "python": "3.11",
+     "repeats": 5,
+     "rows": [{"kernel": "mcs", "instance": "er-192",
+               "backend": "dense", "wall_ms": 1.9,
+               "counters": {"kernel.edges_scanned": 2726,
+                            "kernel.words_merged": 1152},
+               "work": 3878}, ...]}
+
+See ``docs/PERFORMANCE.md`` for how to read and regenerate these
+artifacts; committed ``BENCH_<rev>.json`` files at the repo root are
+the recorded trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import subprocess
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..challenge.generator import pressure_instance
+from ..coalescing.conservative import conservative_coalesce
+from ..graphs import dense as _dense
+from ..graphs.chordal import maximum_cardinality_search_dict
+from ..graphs.coloring import greedy_coloring_dict
+from ..graphs.dense import DenseGraph
+from ..graphs.generators import random_chordal_graph, random_graph
+from ..ir.generators import GeneratorConfig, random_function
+from ..ir.interference import chaitin_interference
+from ..obs import KERNEL_WORK_COUNTERS, NULL_TRACER, Tracer
+
+SCHEMA_VERSION = 1
+
+#: Default wall-time regression band for :func:`compare_snapshots`:
+#: a candidate row may be at most (1 + tolerance) × the baseline.
+TOLERANCE_DEFAULT = 0.25
+
+#: A runner executes one kernel invocation under the given tracer.
+Runner = Callable[..., object]
+
+
+def _git_rev() -> str:
+    """The short HEAD revision, or ``"local"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "local"
+
+
+def pinned_suite() -> List[Dict[str, object]]:
+    """The fixed-seed benchmark cases.
+
+    Returns a list of ``{"kernel", "instance", "runners"}`` dicts where
+    ``runners`` maps backend name to a callable taking ``tracer=``.
+    Instances are chosen dense enough that the bitset kernels win on
+    *work*, not only on constant factors: for a graph kernel the dict
+    baseline scans ~2·E adjacency elements while the dense kernel scans
+    ~E elements plus O(words·V) word operations, so E must comfortably
+    exceed words·V (see docs/PERFORMANCE.md).
+    """
+    cases: List[Dict[str, object]] = []
+
+    # --- interference-graph build (liveness + Chaitin walk) ----------
+    build_cfg = GeneratorConfig(
+        max_depth=5, max_stmts=14, num_vars=48, reuse_bias=0.9
+    )
+    for seed in (6, 10):
+        func = random_function(seed=seed, config=build_cfg)
+        cases.append({
+            "kernel": "build",
+            "instance": f"fn-{seed}",
+            "runners": {
+                "dense": lambda t, f=func: chaitin_interference(
+                    f, backend="dense", tracer=t
+                ),
+                "dict": lambda t, f=func: chaitin_interference(
+                    f, backend="dict", tracer=t
+                ),
+            },
+        })
+
+    # --- MCS and greedy colouring on synthetic graphs ----------------
+    graphs = [
+        ("er-192", random_graph(192, 0.15, seed=11)),
+        ("chordal-160", random_chordal_graph(160, 24, seed=7)),
+    ]
+    for name, graph in graphs:
+        dense_graph = DenseGraph.from_graph(graph)
+        cases.append({
+            "kernel": "mcs",
+            "instance": name,
+            "runners": {
+                "dense": lambda t, d=dense_graph: _dense.mcs_order(
+                    d, tracer=t
+                ),
+                "dict": lambda t, g=graph: maximum_cardinality_search_dict(
+                    g, tracer=t
+                ),
+            },
+        })
+        cases.append({
+            "kernel": "color",
+            "instance": name,
+            "runners": {
+                "dense": lambda t, d=dense_graph: _dense.greedy_coloring(
+                    d, tracer=t
+                ),
+                "dict": lambda t, g=graph: greedy_coloring_dict(g, tracer=t),
+            },
+        })
+
+    # --- conservative coalescing (briggs_george worklist) ------------
+    for k, rounds, seed in ((12, 20, 5), (16, 16, 13)):
+        inst = pressure_instance(
+            k, rounds, rng=random.Random(seed), name=f"pressure-k{k}"
+        )
+        cases.append({
+            "kernel": "coalesce",
+            "instance": f"pressure-k{k}",
+            "runners": {
+                backend: lambda t, g=inst.graph, kk=k, b=backend: (
+                    conservative_coalesce(
+                        g, kk, test="briggs_george", check_input=False,
+                        tracer=t, backend=b,
+                    )
+                )
+                for backend in ("dense", "dict")
+            },
+        })
+    return cases
+
+
+def run_snapshot(
+    repeats: int = 5, rev: Optional[str] = None, enforce: bool = True
+) -> Dict[str, object]:
+    """Execute the pinned suite and return the snapshot document.
+
+    One traced run per row collects the exact work counters; ``repeats``
+    untraced runs collect the minimum wall time.  With ``enforce`` (the
+    default), raises ``RuntimeError`` if any (kernel, instance) pair
+    fails the dense-does-less-work claim.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rows: List[Dict[str, object]] = []
+    for case in pinned_suite():
+        runners: Dict[str, Runner] = case["runners"]  # type: ignore[assignment]
+        for backend in ("dense", "dict"):
+            run = runners[backend]
+            tracer = Tracer()
+            run(tracer)
+            counters = {
+                name: int(tracer.counters.get(name, 0))
+                for name in KERNEL_WORK_COUNTERS
+            }
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                run(NULL_TRACER)
+                best = min(best, time.perf_counter() - t0)
+            rows.append({
+                "kernel": case["kernel"],
+                "instance": case["instance"],
+                "backend": backend,
+                "wall_ms": round(best * 1e3, 4),
+                "counters": counters,
+                "work": sum(counters.values()),
+            })
+    if enforce:
+        problems = work_reduction_problems(rows)
+        if problems:
+            raise RuntimeError(
+                "dense backend did not reduce work: " + "; ".join(problems)
+            )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "rev": rev or _git_rev(),
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "rows": rows,
+    }
+
+
+def work_reduction_problems(rows: List[Dict[str, object]]) -> List[str]:
+    """Check dense < dict total work for every (kernel, instance).
+
+    Returns human-readable violations (empty = the claim holds).
+    """
+    by_key: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for row in rows:
+        key = (str(row["kernel"]), str(row["instance"]))
+        by_key.setdefault(key, {})[str(row["backend"])] = int(row["work"])  # type: ignore[arg-type]
+    problems: List[str] = []
+    for (kernel, instance), works in sorted(by_key.items()):
+        if "dense" not in works or "dict" not in works:
+            problems.append(f"{kernel}/{instance}: missing a backend row")
+        elif works["dense"] >= works["dict"]:
+            problems.append(
+                f"{kernel}/{instance}: dense work {works['dense']} >= "
+                f"dict work {works['dict']}"
+            )
+    return problems
+
+
+def compare_snapshots(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    tolerance: float = TOLERANCE_DEFAULT,
+) -> List[str]:
+    """The regression gate: candidate vs a committed baseline.
+
+    A candidate row regresses when any work counter *increases* (exact
+    comparison — the counters are deterministic) or its wall time
+    exceeds ``(1 + tolerance)`` times the baseline.  Rows present only
+    in the candidate are fine (new kernels extend the trajectory); rows
+    that disappeared are reported.  Returns the list of problems (empty
+    = gate passes).
+    """
+    problems: List[str] = []
+    if baseline.get("schema_version") != candidate.get("schema_version"):
+        problems.append(
+            f"schema mismatch: baseline "
+            f"{baseline.get('schema_version')!r} vs candidate "
+            f"{candidate.get('schema_version')!r}"
+        )
+        return problems
+
+    def rows_by_key(doc: Dict[str, object]) -> Dict[Tuple[str, str, str], Dict]:
+        out: Dict[Tuple[str, str, str], Dict] = {}
+        for row in doc.get("rows", []):  # type: ignore[union-attr]
+            out[(row["kernel"], row["instance"], row["backend"])] = row
+        return out
+
+    base_rows = rows_by_key(baseline)
+    cand_rows = rows_by_key(candidate)
+    for key, base in sorted(base_rows.items()):
+        label = "/".join(key)
+        cand = cand_rows.get(key)
+        if cand is None:
+            problems.append(f"{label}: row missing from candidate")
+            continue
+        for name, base_value in base["counters"].items():
+            cand_value = cand["counters"].get(name, 0)
+            if cand_value > base_value:
+                problems.append(
+                    f"{label}: {name} increased {base_value} -> {cand_value}"
+                )
+        limit = base["wall_ms"] * (1.0 + tolerance)
+        if cand["wall_ms"] > limit:
+            problems.append(
+                f"{label}: wall_ms {cand['wall_ms']:.3f} exceeds "
+                f"{base['wall_ms']:.3f} by more than {tolerance:.0%}"
+            )
+    return problems
+
+
+def write_snapshot(snapshot: Dict[str, object], path: str) -> None:
+    """Write a snapshot document as stable, diff-friendly JSON."""
+    with open(path, "w") as stream:
+        json.dump(snapshot, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Load a snapshot document, validating the schema version."""
+    with open(path) as stream:
+        doc = json.load(stream)
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise ValueError(f"{path}: not a bench snapshot")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {doc.get('schema_version')!r} "
+            f"(this tool reads {SCHEMA_VERSION})"
+        )
+    return doc

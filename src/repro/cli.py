@@ -40,6 +40,13 @@ Commands
     IR files, or DIMACS graphs (auto-detected per file).  See
     ``docs/ANALYSIS.md`` for the pass catalog and diagnostic codes.
 
+``bench {snapshot,compare} [BASELINE] [--repeats N] [--tolerance T]``
+    Run the pinned kernel suite (interference build, MCS, greedy
+    colouring, conservative coalescing; dense and dict backends) and
+    write a schema-versioned ``BENCH_<rev>.json`` with wall-times and
+    exact work counters — or compare a fresh run against a committed
+    baseline as the CI regression gate.  See ``docs/PERFORMANCE.md``.
+
 ``serve [--port P] [--workers N] [--cache-dir DIR] [--batch-window S]``
     Run the resident :mod:`repro.serve` service: an asyncio HTTP API
     that executes task requests on a persistent worker pool with
@@ -650,6 +657,63 @@ def cmd_client(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run or compare pinned kernel snapshots (repro.bench)."""
+    from .bench import (
+        compare_snapshots,
+        load_snapshot,
+        run_snapshot,
+        write_snapshot,
+    )
+
+    if args.action == "snapshot":
+        try:
+            snapshot = run_snapshot(repeats=args.repeats, rev=args.rev)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{'kernel':<10} {'instance':<16} {'backend':<7} "
+              f"{'wall_ms':>9} {'work':>9}")
+        for row in snapshot["rows"]:
+            print(f"{row['kernel']:<10} {row['instance']:<16} "
+                  f"{row['backend']:<7} {row['wall_ms']:>9.3f} "
+                  f"{row['work']:>9}")
+        out = args.output or f"BENCH_{snapshot['rev']}.json"
+        write_snapshot(snapshot, out)
+        print(f"wrote {out}")
+        return 0
+
+    # compare
+    if not args.baseline:
+        print("error: compare needs a baseline BENCH_*.json", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_snapshot(args.baseline)
+        if args.candidate:
+            candidate = load_snapshot(args.candidate)
+        else:
+            candidate = run_snapshot(repeats=args.repeats)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = compare_snapshots(baseline, candidate, tolerance=args.tolerance)
+    if problems:
+        print(f"REGRESSION vs {args.baseline}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"ok: no regression vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%}, "
+          f"{len(baseline['rows'])} rows)")
+    return 0
+
+
 def cmd_dot(args: argparse.Namespace) -> int:
     """Render one instance as Graphviz DOT on stdout."""
     try:
@@ -774,6 +838,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit diagnostics as JSON")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help="pinned kernel perf snapshots and the regression gate "
+        "(docs/PERFORMANCE.md)",
+    )
+    p.add_argument("action", choices=["snapshot", "compare"])
+    p.add_argument("baseline", nargs="?",
+                   help="baseline BENCH_*.json (compare only)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timing repetitions per row (min is recorded)")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed wall-time growth vs baseline "
+                   "(default 0.25 = 25%%)")
+    p.add_argument("--candidate",
+                   help="compare this snapshot file instead of re-running")
+    p.add_argument("--rev", help="revision label (default: git short HEAD)")
+    p.add_argument("-o", "--output",
+                   help="snapshot output path (default BENCH_<rev>.json)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("dot", help="render an instance as Graphviz DOT")
     p.add_argument("file")

@@ -22,17 +22,25 @@ even a previously-refused one).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..graphs import dense as _dense
+from ..graphs.dense import DenseGraph
 from ..graphs.graph import Vertex
 from ..graphs.interference import Coalescing, InterferenceGraph
 from ..graphs.greedy import is_greedy_k_colorable
 from ..analysis.debug import maybe_check_coalescing_result
-from ..obs import NULL_TRACER, Tracer
+from ..obs import EDGES_SCANNED, NULL_TRACER, Tracer
 from .base import CoalescingResult, affinities_by_weight
 
 
-def briggs_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+def briggs_test(
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
     """Briggs' conservative test on the *current* graph.
 
     The merged vertex's neighbourhood is N(u) ∪ N(v) \\ {u, v}; a common
@@ -42,6 +50,9 @@ def briggs_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
     if graph.has_edge(u, v):
         return False
     nu, nv = graph.neighbors_view(u), graph.neighbors_view(v)
+    if tracer.enabled:
+        # cost of building the union, independent of early exits
+        tracer.count(EDGES_SCANNED, len(nu) + len(nv))
     significant = 0
     for w in (nu | nv) - {u, v}:
         degree = graph.degree(w)
@@ -54,7 +65,13 @@ def briggs_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
     return True
 
 
-def george_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+def george_test(
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
     """George's test: merge ``u`` into ``v``.
 
     Safe when every neighbour of ``u`` either has degree < k or is
@@ -64,6 +81,8 @@ def george_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
     if graph.has_edge(u, v):
         return False
     nv = graph.neighbors_view(v)
+    if tracer.enabled:
+        tracer.count(EDGES_SCANNED, graph.degree(u))
     return all(
         graph.degree(t) < k or t in nv
         for t in graph.neighbors_view(u)
@@ -71,13 +90,27 @@ def george_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
     )
 
 
-def george_test_both(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+def george_test_both(
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
     """George's test tried in both directions (the paper's suggestion
     when spilling has been done first, so any two vertices qualify)."""
-    return george_test(graph, u, v, k) or george_test(graph, v, u, k)
+    return george_test(graph, u, v, k, tracer=tracer) or george_test(
+        graph, v, u, k, tracer=tracer
+    )
 
 
-def george_extended_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+def george_extended_test(
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
     """The extension of George's rule mentioned in Section 4.
 
     A neighbour ``t`` of ``u`` need not be a neighbour of ``v`` when
@@ -90,6 +123,19 @@ def george_extended_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int)
     if graph.has_edge(u, v):
         return False
     nv = graph.neighbors_view(v)
+    # materialize the potential blockers first: the high-degree
+    # neighbours of u unknown to v.  The blocker *set* is deterministic
+    # (unlike the set-iteration order), so counting its scan costs
+    # upfront keeps the work counters exact across runs.
+    blockers = [
+        t
+        for t in graph.neighbors_view(u)
+        if t != v and t not in nv and graph.degree(t) >= k
+    ]
+    if tracer.enabled:
+        tracer.count(EDGES_SCANNED, graph.degree(u))
+        for t in blockers:
+            tracer.count(EDGES_SCANNED, graph.degree(t))
 
     def removable(t: Vertex) -> bool:
         significant = 0
@@ -100,37 +146,54 @@ def george_extended_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int)
                     return False
         return True
 
-    return all(
-        t in nv or graph.degree(t) < k or removable(t)
-        for t in graph.neighbors_view(u)
-        if t != v
-    )
+    return all(removable(t) for t in blockers)
 
 
 def george_extended_test_both(
-    graph: InterferenceGraph, u: Vertex, v: Vertex, k: int
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
 ) -> bool:
     """The extended George test in both directions."""
-    return george_extended_test(graph, u, v, k) or george_extended_test(
-        graph, v, u, k
+    return george_extended_test(
+        graph, u, v, k, tracer=tracer
+    ) or george_extended_test(graph, v, u, k, tracer=tracer)
+
+
+def briggs_george_test(
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """The combined rule used by iterated register coalescing."""
+    return briggs_test(graph, u, v, k, tracer=tracer) or george_test_both(
+        graph, u, v, k, tracer=tracer
     )
 
 
-def briggs_george_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
-    """The combined rule used by iterated register coalescing."""
-    return briggs_test(graph, u, v, k) or george_test_both(graph, u, v, k)
-
-
-def brute_force_test(graph: InterferenceGraph, u: Vertex, v: Vertex, k: int) -> bool:
+def brute_force_test(
+    graph: InterferenceGraph,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
     """Merge ``u`` and ``v`` on a copy and re-check
     greedy-k-colorability of the whole graph (linear time)."""
     if graph.has_edge(u, v):
         return False
+    if tracer.enabled:
+        # cost of cloning the adjacency structure for the trial merge
+        tracer.count(EDGES_SCANNED, 2 * graph.num_edges())
     merged = graph.merged(u, v)
-    return is_greedy_k_colorable(merged, k)
+    return is_greedy_k_colorable(merged, k, tracer=tracer)
 
 
-ConservativeTest = Callable[[InterferenceGraph, Vertex, Vertex, int], bool]
+ConservativeTest = Callable[..., bool]
 
 TESTS: dict = {
     "briggs": briggs_test,
@@ -141,12 +204,107 @@ TESTS: dict = {
 }
 
 
+def _coalesce_rounds_dict(
+    graph: InterferenceGraph,
+    k: int,
+    test_fn: ConservativeTest,
+    coalescing: Coalescing,
+    tracer: Tracer,
+) -> None:
+    """The fixed-point worklist on the dict-of-set work graph."""
+    work = graph.copy()
+    # map each union-find representative to its vertex name in `work`
+    # (stale entries for superseded representatives are harmless)
+    rep_name = {v: v for v in graph.vertices}
+    progress = True
+    while progress:
+        progress = False
+        tracer.count("conservative.rounds")
+        for u, v, w in affinities_by_weight(graph):
+            wu = rep_name[coalescing.find(u)]
+            wv = rep_name[coalescing.find(v)]
+            if wu == wv:
+                continue
+            tracer.count("queries.interference")
+            if work.has_edge(wu, wv):
+                tracer.count("moves.constrained")
+                continue
+            tracer.count("moves.attempted")
+            if test_fn(work, wu, wv, k, tracer=tracer):
+                work.merge_in_place(wu, wv)
+                coalescing.union(u, v)
+                rep_name[coalescing.find(u)] = wu
+                progress = True
+                tracer.count("moves.coalesced")
+            else:
+                tracer.count("moves.rejected")
+
+
+def _coalesce_rounds_dense(
+    graph: InterferenceGraph,
+    k: int,
+    test_fn: ConservativeTest,
+    coalescing: Coalescing,
+    tracer: Tracer,
+) -> None:
+    """The same fixed point on the dense bitset work graph.
+
+    Identical iteration order, merge directions, and verdicts as the
+    dict loop (each dense test is verdict-equal to its dict twin), so
+    the ``moves.*`` / ``queries.*`` counters and the resulting partition
+    match exactly; only the kernel work counters shrink.  The degree-≥-k
+    mask ``high`` is maintained incrementally from the common-neighbour
+    mask that :meth:`DenseGraph.merge_in_place` returns — the only
+    vertices whose degree changed.
+    """
+    dense = DenseGraph.from_graph(graph)
+    deg = dense.deg
+    # map each union-find representative to its slot in `dense`
+    rep_idx = {v: dense.index[v] for v in graph.vertices}
+    high = dense.high_degree_mask(k)
+    progress = True
+    while progress:
+        progress = False
+        tracer.count("conservative.rounds")
+        for u, v, w in affinities_by_weight(graph):
+            i = rep_idx[coalescing.find(u)]
+            j = rep_idx[coalescing.find(v)]
+            if i == j:
+                continue
+            tracer.count("queries.interference")
+            if dense.has_edge(i, j):
+                tracer.count("moves.constrained")
+                continue
+            tracer.count("moves.attempted")
+            if test_fn(dense, i, j, k, high=high, tracer=tracer):
+                common = dense.merge_in_place(i, j)
+                # common neighbours lost one degree; i changed; j died
+                drop = common & high
+                while drop:
+                    low = drop & -drop
+                    if deg[low.bit_length() - 1] < k:
+                        high &= ~low
+                    drop ^= low
+                high &= ~(1 << j)
+                if deg[i] >= k:
+                    high |= 1 << i
+                else:
+                    high &= ~(1 << i)
+                coalescing.union(u, v)
+                rep_idx[coalescing.find(u)] = i
+                progress = True
+                tracer.count("moves.coalesced")
+            else:
+                tracer.count("moves.rejected")
+
+
 def conservative_coalesce(
     graph: InterferenceGraph,
     k: int,
     test: str = "briggs_george",
     check_input: bool = True,
     tracer: Tracer = NULL_TRACER,
+    backend: str = "dense",
 ) -> CoalescingResult:
     """Iterated conservative coalescing with the chosen test.
 
@@ -159,45 +317,36 @@ def conservative_coalesce(
     raises ``ValueError`` — conservative coalescing is only meaningful
     on a colourable graph (the paper's setting: after spilling).
 
+    ``backend`` selects the work-graph representation: ``"dense"`` (the
+    default) runs the rounds on :class:`~repro.graphs.dense.DenseGraph`
+    bitset kernels, ``"dict"`` on the dict-of-set reference.  Both
+    produce the same partition, ledger, and ``moves.*`` counters (the
+    tests are verdict-identical); they differ only in kernel work — see
+    docs/PERFORMANCE.md.
+
     ``tracer`` records rounds, merge attempts/accepts/rejections, and
     interference queries (see docs/OBSERVABILITY.md).
     """
+    if backend == "dense":
+        tests: Dict[str, ConservativeTest] = _dense.DENSE_TESTS
+    elif backend == "dict":
+        tests = TESTS
+    else:
+        raise ValueError(f"unknown backend {backend!r}; choose 'dense' or 'dict'")
     try:
-        test_fn = TESTS[test]
+        test_fn = tests[test]
     except KeyError:
-        raise ValueError(f"unknown test {test!r}; choose from {sorted(TESTS)}")
+        raise ValueError(f"unknown test {test!r}; choose from {sorted(tests)}")
     if check_input and not is_greedy_k_colorable(graph, k):
         raise ValueError("input graph is not greedy-k-colorable")
 
-    work = graph.copy()
     coalescing = Coalescing(graph)
-    # map each union-find representative to its vertex name in `work`
-    # (stale entries for superseded representatives are harmless)
-    rep_name = {v: v for v in graph.vertices}
     tracer.count("affinities.total", graph.num_affinities())
     with tracer.span(f"conservative-{test}"):
-        progress = True
-        while progress:
-            progress = False
-            tracer.count("conservative.rounds")
-            for u, v, w in affinities_by_weight(graph):
-                wu = rep_name[coalescing.find(u)]
-                wv = rep_name[coalescing.find(v)]
-                if wu == wv:
-                    continue
-                tracer.count("queries.interference")
-                if work.has_edge(wu, wv):
-                    tracer.count("moves.constrained")
-                    continue
-                tracer.count("moves.attempted")
-                if test_fn(work, wu, wv, k):
-                    work.merge_in_place(wu, wv)
-                    coalescing.union(u, v)
-                    rep_name[coalescing.find(u)] = wu
-                    progress = True
-                    tracer.count("moves.coalesced")
-                else:
-                    tracer.count("moves.rejected")
+        if backend == "dense":
+            _coalesce_rounds_dense(graph, k, test_fn, coalescing, tracer)
+        else:
+            _coalesce_rounds_dict(graph, k, test_fn, coalescing, tracer)
     # final ledger from the partition itself, so affinities coalesced
     # transitively (endpoints unioned through other moves) are counted
     coalesced = [

@@ -6,6 +6,7 @@ are built entirely on these primitives.
 """
 
 from .graph import Graph, Vertex
+from .dense import DenseGraph
 from .interference import (
     Coalescing,
     InterferenceGraph,
@@ -21,6 +22,7 @@ from .chordal import (
     make_chordal,
     maximal_cliques_chordal,
     maximum_cardinality_search,
+    maximum_cardinality_search_dict,
     perfect_elimination_ordering,
     simplicial_vertices,
     verify_clique_tree,
@@ -29,6 +31,7 @@ from .coloring import (
     chromatic_number,
     dsatur_coloring,
     greedy_coloring,
+    greedy_coloring_dict,
     is_k_colorable,
     k_coloring_exact,
     verify_coloring,
@@ -37,15 +40,18 @@ from .greedy import (
     coloring_number,
     dense_subgraph_witness,
     greedy_elimination_order,
+    greedy_elimination_order_dict,
     greedy_k_coloring,
     is_greedy_k_colorable,
+    is_greedy_k_colorable_dict,
     smallest_last_order,
 )
-from . import generators, interval, io, perfect
+from . import dense, generators, interval, io, perfect
 
 __all__ = [
     "Graph",
     "Vertex",
+    "DenseGraph",
     "InterferenceGraph",
     "Coalescing",
     "coalescing_from_mapping",
@@ -58,21 +64,26 @@ __all__ = [
     "make_chordal",
     "maximal_cliques_chordal",
     "maximum_cardinality_search",
+    "maximum_cardinality_search_dict",
     "perfect_elimination_ordering",
     "simplicial_vertices",
     "verify_clique_tree",
     "chromatic_number",
     "dsatur_coloring",
     "greedy_coloring",
+    "greedy_coloring_dict",
     "is_k_colorable",
     "k_coloring_exact",
     "verify_coloring",
     "coloring_number",
     "dense_subgraph_witness",
     "greedy_elimination_order",
+    "greedy_elimination_order_dict",
     "greedy_k_coloring",
     "is_greedy_k_colorable",
+    "is_greedy_k_colorable_dict",
     "smallest_last_order",
+    "dense",
     "generators",
     "interval",
     "io",

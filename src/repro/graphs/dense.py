@@ -1,0 +1,505 @@
+"""Dense bitset graph kernels: the integer-indexed fast path.
+
+The dict-of-set :class:`~repro.graphs.graph.Graph` is the right *API*
+for the coalescing algorithms — hashable vertex names, cheap merges,
+obvious code — but its inner loops pay a hash lookup per neighbour.
+This module is the dense counterpart: vertices are interned to the
+integer range ``0..n-1`` (in insertion order, so the mapping is stable
+and reproducible) and each adjacency set becomes one Python ``int``
+used as a bitmask.  Neighbourhood algebra then runs word-wise —
+``adj[u] & ~visited`` prunes an entire 64-bit span per machine
+operation — and ``popcount`` replaces per-element counting.
+
+Everything here is lossless with respect to the dict representation:
+:meth:`DenseGraph.from_graph` / :meth:`DenseGraph.to_graph` round-trip
+exactly, and each kernel is the *same algorithm* as its dict reference
+(same tie-breaking, same verdicts), so the public dict-based API can
+route through this module without changing observable results.  The
+equivalence is enforced by property tests (``tests/test_dense.py``).
+
+Work accounting: kernels count :data:`~repro.obs.names.EDGES_SCANNED`
+for every adjacency element actually visited and
+:data:`~repro.obs.names.WORDS_MERGED` for every machine word processed
+by a mask operation.  Counts measure the size of data consumed — never
+early exits — so they are exact across runs; ``repro bench snapshot``
+uses them to prove the dense kernels do strictly less work than the
+dict baselines (see ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..obs import NULL_TRACER, Tracer
+from ..obs.names import EDGES_SCANNED, WORDS_MERGED
+from .graph import Graph, Vertex
+
+#: Bits per accounting word.  CPython long arithmetic works on 30-bit
+#: digits internally, but 64 is the honest machine-word unit the
+#: ``WORDS_MERGED`` counter is defined against.
+WORD_BITS = 64
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit indices of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _popcount(mask: int) -> int:
+    """Number of set bits of ``mask``."""
+    return mask.bit_count()
+
+
+class DenseGraph:
+    """An undirected graph over interned integer vertices.
+
+    ``names[i]`` is the original vertex behind index ``i`` and
+    ``index[v]`` its inverse; interning follows insertion order of the
+    source graph, so two conversions of the same graph agree.  ``adj[i]``
+    is the neighbourhood of ``i`` as a bitmask, ``deg[i]`` a maintained
+    popcount of it, and ``alive`` the bitmask of vertices not yet
+    removed by a merge (merging never reindexes — the dead slot just
+    empties, keeping indices stable for the whole run).
+    """
+
+    __slots__ = ("names", "index", "adj", "deg", "alive", "words")
+
+    def __init__(self, names: Sequence[Vertex] = ()) -> None:
+        self.names: List[Vertex] = list(names)
+        self.index: Dict[Vertex, int] = {v: i for i, v in enumerate(self.names)}
+        if len(self.index) != len(self.names):
+            raise ValueError("duplicate vertex names")
+        n = len(self.names)
+        self.adj: List[int] = [0] * n
+        self.deg: List[int] = [0] * n
+        self.alive: int = (1 << n) - 1
+        self.words: int = max(1, (n + WORD_BITS - 1) // WORD_BITS)
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DenseGraph":
+        """Intern ``graph`` (insertion order) into a dense twin."""
+        dense = cls(list(graph.vertices))
+        index = dense.index
+        adj = dense.adj
+        for v in graph.vertices:
+            i = index[v]
+            mask = 0
+            for u in graph.neighbors_view(v):
+                mask |= 1 << index[u]
+            adj[i] = mask
+            dense.deg[i] = _popcount(mask)
+        return dense
+
+    def to_graph(self) -> Graph:
+        """Materialize back to a dict-of-set :class:`Graph` (lossless)."""
+        g = Graph(vertices=[self.names[i] for i in _iter_bits(self.alive)])
+        for i in _iter_bits(self.alive):
+            above = self.adj[i] >> (i + 1)
+            for off in _iter_bits(above):
+                g.add_edge(self.names[i], self.names[i + 1 + off])
+        return g
+
+    # ------------------------------------------------------------------
+    # queries and mutation
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of interned slots (including dead ones)."""
+        return len(self.names)
+
+    def num_alive(self) -> int:
+        """Number of live vertices."""
+        return _popcount(self.alive)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges among live vertices."""
+        return sum(self.deg[i] for i in _iter_bits(self.alive)) // 2
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """True iff live vertices ``i`` and ``j`` are adjacent."""
+        return bool(self.adj[i] >> j & 1)
+
+    def add_edge(self, i: int, j: int) -> None:
+        """Add the undirected edge ``(i, j)`` between live vertices."""
+        if i == j:
+            raise ValueError(f"self-loop on index {i}")
+        if not self.adj[i] >> j & 1:
+            self.adj[i] |= 1 << j
+            self.adj[j] |= 1 << i
+            self.deg[i] += 1
+            self.deg[j] += 1
+
+    def copy(self) -> "DenseGraph":
+        """An independent copy sharing the (immutable) interning."""
+        dup = DenseGraph.__new__(DenseGraph)
+        dup.names = self.names
+        dup.index = self.index
+        dup.adj = list(self.adj)
+        dup.deg = list(self.deg)
+        dup.alive = self.alive
+        dup.words = self.words
+        return dup
+
+    def high_degree_mask(self, k: int) -> int:
+        """Bitmask of live vertices with degree ≥ ``k``."""
+        mask = 0
+        deg = self.deg
+        for i in _iter_bits(self.alive):
+            if deg[i] >= k:
+                mask |= 1 << i
+        return mask
+
+    def merge_in_place(self, i: int, j: int) -> int:
+        """Merge vertex ``j`` into ``i`` (the coalescing merge).
+
+        ``i`` keeps its index and absorbs ``j``'s neighbourhood; ``j``
+        dies.  Merging adjacent vertices is illegal.  Returns the
+        bitmask of *common* neighbours — exactly the vertices whose
+        degree dropped by one, which callers maintaining a
+        degree-threshold mask need (see
+        :func:`repro.coalescing.conservative.conservative_coalesce`).
+        """
+        adj, deg = self.adj, self.deg
+        bi, bj = 1 << i, 1 << j
+        if adj[i] & bj:
+            raise ValueError(
+                f"cannot merge interfering vertices "
+                f"{self.names[i]!r}, {self.names[j]!r}"
+            )
+        if not (self.alive & bi and self.alive & bj):
+            raise KeyError("both endpoints must be alive")
+        common = adj[i] & adj[j]
+        gained = adj[j] & ~adj[i]
+        for w in _iter_bits(common):
+            adj[w] &= ~bj
+            deg[w] -= 1
+        for w in _iter_bits(gained):
+            adj[w] = (adj[w] | bi) & ~bj
+        adj[i] |= gained
+        deg[i] = _popcount(adj[i])
+        adj[j] = 0
+        deg[j] = 0
+        self.alive &= ~bj
+        return common
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def mcs_order(dense: DenseGraph, tracer: Tracer = NULL_TRACER) -> List[int]:
+    """Maximum-cardinality search over the dense graph.
+
+    Same lazy-heap algorithm and tie-break (max visited-neighbour count,
+    then smallest interned index) as the dict reference
+    :func:`repro.graphs.chordal.maximum_cardinality_search_dict`, so the
+    two produce *identical* orders.  The bitset win: each visit scans
+    only the still-unvisited neighbours (``adj[v] & ~visited``), so
+    every edge is walked once instead of twice.
+    """
+    counting = tracer.enabled
+    weight = [0] * dense.n
+    heap: List[Tuple[int, int]] = [(0, i) for i in _iter_bits(dense.alive)]
+    heapq.heapify(heap)
+    visited = 0
+    order: List[int] = []
+    adj = dense.adj
+    words = dense.words
+    while heap:
+        neg_w, v = heapq.heappop(heap)
+        bv = 1 << v
+        if visited & bv or -neg_w != weight[v]:
+            continue
+        visited |= bv
+        order.append(v)
+        fresh = adj[v] & ~visited
+        if counting:
+            tracer.count(WORDS_MERGED, 2 * words)
+            tracer.count(EDGES_SCANNED, _popcount(fresh))
+        for u in _iter_bits(fresh):
+            w = weight[u] + 1
+            weight[u] = w
+            heapq.heappush(heap, (-w, u))
+    return order
+
+
+def greedy_coloring(
+    dense: DenseGraph,
+    order: Optional[Sequence[int]] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> Dict[int, int]:
+    """First-fit colouring along ``order`` (default: index order).
+
+    Identical colours to the dict reference
+    :func:`repro.graphs.coloring.greedy_coloring_dict` on the same
+    order.  Only already-coloured neighbours are visited — the
+    ``adj[v] & colored`` mask prunes the rest word-wise — so the scan
+    work is E instead of 2E.
+    """
+    counting = tracer.enabled
+    if order is None:
+        order = list(_iter_bits(dense.alive))
+    color = [0] * dense.n
+    colored = 0
+    adj = dense.adj
+    words = dense.words
+    out: Dict[int, int] = {}
+    for v in order:
+        nb = adj[v] & colored
+        if counting:
+            tracer.count(WORDS_MERGED, words)
+            tracer.count(EDGES_SCANNED, _popcount(nb))
+        used = 0
+        for u in _iter_bits(nb):
+            used |= 1 << color[u]
+        c = ((used + 1) & ~used).bit_length() - 1
+        color[v] = c
+        out[v] = c
+        colored |= 1 << v
+    return out
+
+
+def greedy_elimination_order(
+    dense: DenseGraph, k: int, tracer: Tracer = NULL_TRACER
+) -> Tuple[List[int], bool]:
+    """Chaitin's elimination scheme with threshold ``k`` (Section 2.2).
+
+    Returns ``(order, success)`` like the dict reference
+    :func:`repro.graphs.greedy.greedy_elimination_order_dict`; success
+    is identical (the scheme is confluent), the order may differ in
+    tie-breaking.  Each removal scans only the *remaining* neighbours.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    counting = tracer.enabled
+    adj = dense.adj
+    words = dense.words
+    remaining = dense.alive
+    degree = list(dense.deg)
+    worklist = [i for i in _iter_bits(dense.alive) if degree[i] < k]
+    order: List[int] = []
+    while worklist:
+        v = worklist.pop()
+        bv = 1 << v
+        if not remaining & bv or degree[v] >= k:
+            continue
+        remaining &= ~bv
+        order.append(v)
+        nb = adj[v] & remaining
+        if counting:
+            tracer.count(WORDS_MERGED, 2 * words)
+            tracer.count(EDGES_SCANNED, _popcount(nb))
+        for u in _iter_bits(nb):
+            d = degree[u] - 1
+            degree[u] = d
+            if d == k - 1:
+                worklist.append(u)
+    return order, remaining == 0
+
+
+def is_greedy_k_colorable(
+    dense: DenseGraph, k: int, tracer: Tracer = NULL_TRACER
+) -> bool:
+    """True iff the elimination scheme with threshold ``k`` empties G."""
+    _, success = greedy_elimination_order(dense, k, tracer=tracer)
+    return success
+
+
+def greedy_k_coloring(
+    dense: DenseGraph, k: int, tracer: Tracer = NULL_TRACER
+) -> Optional[Dict[int, int]]:
+    """A k-colouring via the greedy scheme, or None if it gets stuck."""
+    order, success = greedy_elimination_order(dense, k, tracer=tracer)
+    if not success:
+        return None
+    coloring = greedy_coloring(dense, order=list(reversed(order)), tracer=tracer)
+    if coloring and max(coloring.values()) >= k:
+        raise AssertionError("greedy scheme produced an over-budget colour")
+    return coloring
+
+
+# ----------------------------------------------------------------------
+# conservative tests (Section 4) on the dense representation
+# ----------------------------------------------------------------------
+def briggs_test(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """Briggs' conservative test; verdict-identical to the dict version.
+
+    ``high`` is the degree-≥-k bitmask (recomputed when omitted; loops
+    testing many pairs should maintain it incrementally).  Significant
+    neighbours are counted with one popcount over ``union & high``,
+    corrected per-element only for common neighbours of degree exactly
+    ``k`` (whose merged degree drops below the threshold).
+    """
+    counting = tracer.enabled
+    adj, deg, words = dense.adj, dense.deg, dense.words
+    bi, bj = 1 << i, 1 << j
+    if adj[i] & bj:
+        return False
+    if high is None:
+        high = dense.high_degree_mask(k)
+        if counting:
+            tracer.count(EDGES_SCANNED, dense.num_alive())
+    union = (adj[i] | adj[j]) & ~(bi | bj)
+    significant = _popcount(union & high)
+    if counting:
+        tracer.count(WORDS_MERGED, 4 * words)
+    borderline = adj[i] & adj[j] & high
+    if counting:
+        tracer.count(WORDS_MERGED, 2 * words)
+        tracer.count(EDGES_SCANNED, _popcount(borderline))
+    for w in _iter_bits(borderline):
+        if deg[w] == k:
+            significant -= 1
+    return significant < k
+
+
+def george_test(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """George's test (merge ``i`` into ``j``) as pure mask algebra.
+
+    Safe iff no neighbour of ``i`` is simultaneously high-degree, not a
+    neighbour of ``j``, and not ``j`` itself — one ANDNOT chain, zero
+    per-element work.
+    """
+    counting = tracer.enabled
+    adj, words = dense.adj, dense.words
+    bi, bj = 1 << i, 1 << j
+    if adj[i] & bj:
+        return False
+    if high is None:
+        high = dense.high_degree_mask(k)
+        if counting:
+            tracer.count(EDGES_SCANNED, dense.num_alive())
+    if counting:
+        tracer.count(WORDS_MERGED, 3 * words)
+    return not (adj[i] & high & ~adj[j] & ~bj)
+
+
+def george_test_both(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """George's test tried in both directions."""
+    return george_test(dense, i, j, k, high=high, tracer=tracer) or george_test(
+        dense, j, i, k, high=high, tracer=tracer
+    )
+
+
+def george_extended_test(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """The Section-4 extension of George's rule, dense flavour.
+
+    A blocker ``t`` (high-degree neighbour of ``i`` unknown to ``j``)
+    is forgiven when it is itself removable — fewer than ``k`` of *its*
+    neighbours are high-degree, one popcount per blocker.
+    """
+    counting = tracer.enabled
+    adj, words = dense.adj, dense.words
+    bi, bj = 1 << i, 1 << j
+    if adj[i] & bj:
+        return False
+    if high is None:
+        high = dense.high_degree_mask(k)
+        if counting:
+            tracer.count(EDGES_SCANNED, dense.num_alive())
+    blockers = adj[i] & high & ~adj[j] & ~bj
+    if counting:
+        tracer.count(WORDS_MERGED, 3 * words)
+        tracer.count(EDGES_SCANNED, _popcount(blockers))
+    for t in _iter_bits(blockers):
+        if counting:
+            tracer.count(WORDS_MERGED, words)
+        if _popcount(adj[t] & high) >= k:
+            return False
+    return True
+
+
+def george_extended_test_both(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """The extended George test in both directions."""
+    return george_extended_test(
+        dense, i, j, k, high=high, tracer=tracer
+    ) or george_extended_test(dense, j, i, k, high=high, tracer=tracer)
+
+
+def briggs_george_test(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """The combined iterated-register-coalescing rule."""
+    return briggs_test(dense, i, j, k, high=high, tracer=tracer) or george_test_both(
+        dense, i, j, k, high=high, tracer=tracer
+    )
+
+
+def brute_force_test(
+    dense: DenseGraph,
+    i: int,
+    j: int,
+    k: int,
+    high: Optional[int] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> bool:
+    """Merge on a copy and re-check greedy-k-colorability.
+
+    The dense copy is a flat list clone — no per-vertex set copies —
+    which is what makes the paper's "merge then re-check in linear
+    time" suggestion actually cheap enough to iterate.
+    """
+    if dense.adj[i] >> j & 1:
+        return False
+    if tracer.enabled:
+        tracer.count(WORDS_MERGED, dense.n * dense.words)
+    merged = dense.copy()
+    merged.merge_in_place(i, j)
+    return is_greedy_k_colorable(merged, k, tracer=tracer)
+
+
+#: Dense conservative tests by name — mirrors
+#: :data:`repro.coalescing.conservative.TESTS`.
+DENSE_TESTS: Dict[str, Callable[..., bool]] = {
+    "briggs": briggs_test,
+    "george": george_test_both,
+    "george_extended": george_extended_test_both,
+    "briggs_george": briggs_george_test,
+    "brute": brute_force_test,
+}

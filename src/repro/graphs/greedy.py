@@ -15,19 +15,41 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import EDGES_SCANNED, NULL_TRACER, Tracer
+from . import dense as _dense
+from .dense import DenseGraph
 from .graph import Graph, Vertex
 
 
-def greedy_elimination_order(graph: Graph, k: int) -> Tuple[List[Vertex], bool]:
+def greedy_elimination_order(
+    graph: Graph, k: int, tracer: Tracer = NULL_TRACER
+) -> Tuple[List[Vertex], bool]:
     """Run Chaitin's elimination scheme with threshold ``k``.
 
     Returns ``(order, success)``: the vertices removed, in removal order,
     and whether the graph was fully eliminated.  The order in which
     candidates are picked does not affect success (the scheme is
-    confluent — Section 2.2), so a simple worklist suffices.  O(V+E).
+    confluent — Section 2.2).  Routed through the dense bitset kernel
+    (:func:`repro.graphs.dense.greedy_elimination_order`); the dict
+    reference :func:`greedy_elimination_order_dict` remains the
+    benchmark baseline.
+    """
+    dg = DenseGraph.from_graph(graph)
+    order, success = _dense.greedy_elimination_order(dg, k, tracer=tracer)
+    return [dg.names[i] for i in order], success
+
+
+def greedy_elimination_order_dict(
+    graph: Graph, k: int, tracer: Tracer = NULL_TRACER
+) -> Tuple[List[Vertex], bool]:
+    """The dict-of-set elimination reference implementation, O(V+E).
+
+    Kept as the benchmark baseline (``repro bench snapshot``) and the
+    equivalence oracle for the dense kernel.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    counting = tracer.enabled
     degree: Dict[Vertex, int] = {v: graph.degree(v) for v in graph.vertices}
     removed: Dict[Vertex, bool] = {v: False for v in graph.vertices}
     worklist: List[Vertex] = [v for v, d in degree.items() if d < k]
@@ -38,6 +60,8 @@ def greedy_elimination_order(graph: Graph, k: int) -> Tuple[List[Vertex], bool]:
             continue
         removed[v] = True
         order.append(v)
+        if counting:
+            tracer.count(EDGES_SCANNED, graph.degree(v))
         for u in graph.neighbors_view(v):
             if not removed[u]:
                 degree[u] -= 1
@@ -46,9 +70,23 @@ def greedy_elimination_order(graph: Graph, k: int) -> Tuple[List[Vertex], bool]:
     return order, len(order) == len(graph)
 
 
-def is_greedy_k_colorable(graph: Graph, k: int) -> bool:
-    """True iff the elimination scheme with threshold ``k`` empties G."""
-    _, success = greedy_elimination_order(graph, k)
+def is_greedy_k_colorable(
+    graph: Graph, k: int, tracer: Tracer = NULL_TRACER
+) -> bool:
+    """True iff the elimination scheme with threshold ``k`` empties G.
+
+    Runs on the dense bitset kernel; by confluence the verdict is
+    identical to the dict reference (:func:`is_greedy_k_colorable_dict`).
+    """
+    _, success = greedy_elimination_order(graph, k, tracer=tracer)
+    return success
+
+
+def is_greedy_k_colorable_dict(
+    graph: Graph, k: int, tracer: Tracer = NULL_TRACER
+) -> bool:
+    """Dict-of-set reference for :func:`is_greedy_k_colorable`."""
+    _, success = greedy_elimination_order_dict(graph, k, tracer=tracer)
     return success
 
 
@@ -58,20 +96,13 @@ def greedy_k_coloring(graph: Graph, k: int) -> Optional[Dict[Vertex, int]]:
     Colours vertices in reverse elimination order, giving each the
     smallest colour unused among already-coloured neighbours; possible
     because each vertex had < k neighbours remaining when removed.
+    Both phases run on the dense bitset kernels.
     """
-    order, success = greedy_elimination_order(graph, k)
-    if not success:
+    dg = DenseGraph.from_graph(graph)
+    coloring = _dense.greedy_k_coloring(dg, k)
+    if coloring is None:
         return None
-    coloring: Dict[Vertex, int] = {}
-    for v in reversed(order):
-        used = {coloring[u] for u in graph.neighbors_view(v) if u in coloring}
-        c = 0
-        while c in used:
-            c += 1
-        if c >= k:
-            raise AssertionError("greedy scheme produced an over-budget colour")
-        coloring[v] = c
-    return coloring
+    return {dg.names[i]: c for i, c in coloring.items()}
 
 
 def smallest_last_order(graph: Graph) -> List[Vertex]:

@@ -15,7 +15,9 @@ from .liveness import (
     LivenessInfo,
     check_strict,
     compute_liveness,
+    compute_liveness_dict,
     live_at_points,
+    liveness_masks,
     maxlive,
 )
 from .ssa import construct_ssa, is_ssa, verify_ssa
@@ -28,6 +30,7 @@ from .out_of_ssa import (
 )
 from .interference import (
     chaitin_interference,
+    chaitin_interference_dict,
     intersection_interference,
     set_frequencies_from_loops,
 )
@@ -64,7 +67,9 @@ __all__ = [
     "LivenessInfo",
     "check_strict",
     "compute_liveness",
+    "compute_liveness_dict",
     "live_at_points",
+    "liveness_masks",
     "maxlive",
     "construct_ssa",
     "is_ssa",
@@ -75,6 +80,7 @@ __all__ = [
     "phi_webs",
     "sequentialize_parallel_copy",
     "chaitin_interference",
+    "chaitin_interference_dict",
     "intersection_interference",
     "set_frequencies_from_loops",
     "GeneratorConfig",

@@ -22,8 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Set, Tuple
 
+from ..obs import EDGES_SCANNED, NULL_TRACER, WORDS_MERGED, Tracer
 from .cfg import Function
 from .instructions import Var
+
+_WORD_BITS = 64
 
 
 @dataclass
@@ -34,8 +37,118 @@ class LivenessInfo:
     live_out: Dict[str, Set[Var]] = field(default_factory=dict)
 
 
-def compute_liveness(func: Function) -> LivenessInfo:
-    """Fixed-point backward liveness over reachable blocks."""
+def liveness_masks(
+    func: Function, tracer: Tracer = NULL_TRACER
+) -> Tuple[List[Var], Dict[str, int], Dict[str, int]]:
+    """Mask-based backward liveness: the dense transfer kernel.
+
+    Interns the function's variables (sorted order, so the mapping is
+    reproducible) and runs the fixed point of :func:`compute_liveness`
+    with each live set held as one ``int`` bitmask — the per-block
+    transfer is a handful of word-wise OR/ANDNOT operations instead of
+    per-element set algebra.  Returns ``(variables, live_in, live_out)``
+    where the dicts map reachable block names to bitmasks over the
+    variable indices.  :func:`compute_liveness` materializes these masks
+    back to the classic per-block sets; the interference builder
+    (:func:`repro.ir.interference.chaitin_interference`) consumes them
+    directly.
+    """
+    counting = tracer.enabled
+    reachable = func.reachable()
+    variables = sorted(func.variables())
+    index = {v: i for i, v in enumerate(variables)}
+    words = max(1, (len(variables) + _WORD_BITS - 1) // _WORD_BITS)
+
+    use: Dict[str, int] = {}
+    defs: Dict[str, int] = {}
+    phi_uses_out: Dict[str, int] = {b: 0 for b in reachable}
+    phi_defs: Dict[str, int] = {b: 0 for b in reachable}
+
+    for name in reachable:
+        block = func.blocks[name]
+        upward = 0
+        defined = 0
+        for instr in block.instrs:
+            for v in instr.uses:
+                bv = 1 << index[v]
+                if not defined & bv:
+                    upward |= bv
+            for v in instr.defs:
+                defined |= 1 << index[v]
+        use[name] = upward
+        defs[name] = defined
+        for phi in block.phis:
+            phi_defs[name] |= 1 << index[phi.target]
+            for pred, v in phi.args.items():
+                if pred in reachable:
+                    phi_uses_out[pred] |= 1 << index[v]
+
+    live_in: Dict[str, int] = {b: 0 for b in reachable}
+    live_out: Dict[str, int] = {b: 0 for b in reachable}
+    # iterate in postorder (against the flow) until stable — the same
+    # evaluation order as the dict reference, hence the same number of
+    # rounds
+    order = func.postorder()
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            out = phi_uses_out[b]
+            nsucc = 0
+            for s in func.successors(b):
+                if s not in reachable:
+                    continue
+                # live-in of successor minus its φ-targets, since those
+                # are defined at the join
+                out |= live_in[s]
+                nsucc += 1
+            # φ-targets are defined at the block top, so they are not
+            # live-in even when used by the block's own instructions.
+            new_in = (use[b] | (out & ~defs[b])) & ~phi_defs[b]
+            if counting:
+                tracer.count(WORDS_MERGED, (nsucc + 3) * words)
+            if out != live_out[b] or new_in != live_in[b]:
+                live_out[b] = out
+                live_in[b] = new_in
+                changed = True
+    return variables, live_in, live_out
+
+
+def compute_liveness(func: Function, tracer: Tracer = NULL_TRACER) -> LivenessInfo:
+    """Fixed-point backward liveness over reachable blocks.
+
+    Runs on the bitmask transfer kernel (:func:`liveness_masks`) and
+    materializes the per-block sets; the result is identical to the
+    dict-of-set reference :func:`compute_liveness_dict`, which remains
+    the benchmark baseline.
+    """
+    variables, in_masks, out_masks = liveness_masks(func, tracer=tracer)
+
+    def to_set(mask: int) -> Set[Var]:
+        out: Set[Var] = set()
+        while mask:
+            low = mask & -mask
+            out.add(variables[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    return LivenessInfo(
+        live_in={b: to_set(m) for b, m in in_masks.items()},
+        live_out={b: to_set(m) for b, m in out_masks.items()},
+    )
+
+
+def compute_liveness_dict(
+    func: Function, tracer: Tracer = NULL_TRACER
+) -> LivenessInfo:
+    """The dict-of-set liveness reference implementation.
+
+    Kept as the benchmark baseline (``repro bench snapshot``) and the
+    equivalence oracle for :func:`liveness_masks`.  The tracer counts
+    :data:`~repro.obs.names.EDGES_SCANNED` for every set element
+    consumed by a transfer evaluation.
+    """
+    counting = tracer.enabled
     reachable = func.reachable()
     use: Dict[str, Set[Var]] = {}
     defs: Dict[str, Set[Var]] = {}
@@ -74,9 +187,16 @@ def compute_liveness(func: Function) -> LivenessInfo:
                 # live-in of successor minus its φ-targets, since those
                 # are defined at the join
                 out |= info.live_in[s]
+                if counting:
+                    tracer.count(EDGES_SCANNED, len(info.live_in[s]))
             # φ-targets are defined at the block top, so they are not
             # live-in even when used by the block's own instructions.
             new_in = (use[b] | (out - defs[b])) - phi_defs[b]
+            if counting:
+                tracer.count(
+                    EDGES_SCANNED,
+                    len(phi_uses_out[b]) + len(use[b]) + len(out),
+                )
             if out != info.live_out[b] or new_in != info.live_in[b]:
                 info.live_out[b] = out
                 info.live_in[b] = new_in

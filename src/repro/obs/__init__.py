@@ -16,6 +16,7 @@ report schema.
 """
 
 from .tracer import NULL_TRACER, NullTracer, Tracer
+from .names import EDGES_SCANNED, KERNEL_WORK_COUNTERS, WORDS_MERGED
 from .export import (
     as_report,
     csv_rows,
@@ -29,6 +30,9 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "EDGES_SCANNED",
+    "WORDS_MERGED",
+    "KERNEL_WORK_COUNTERS",
     "as_report",
     "csv_rows",
     "merged_report",

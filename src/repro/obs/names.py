@@ -1,0 +1,33 @@
+"""Canonical counter names for kernel work accounting.
+
+The dense-vs-dict kernel comparison (see ``docs/PERFORMANCE.md``) only
+means something if every layer agrees on what "work" is called.  These
+constants are the single source of truth for the two kernel-work
+counters; the benchmark snapshot harness (:mod:`repro.bench.snapshot`),
+the dense kernels (:mod:`repro.graphs.dense`), the dict reference
+kernels, and the service ``/metrics`` endpoint all import them instead
+of spelling the strings out.
+
+Accounting convention (documented in ``docs/OBSERVABILITY.md``): both
+counters record the *size of the data consumed* by an operation —
+order-independent and therefore exactly reproducible across runs —
+never data-dependent early exits.
+
+* ``EDGES_SCANNED`` — per-element work: one unit for each adjacency
+  element a kernel touches (a neighbour visited, a live variable added
+  to an edge, a set entry inserted).
+* ``WORDS_MERGED`` — per-word work: one unit for each machine word
+  (:data:`repro.graphs.dense.WORD_BITS` bits) processed by a bitset
+  operation (AND/OR/ANDNOT or popcount over a full mask).
+"""
+
+from __future__ import annotations
+
+#: Counter name for per-element adjacency work (dict-of-set kernels).
+EDGES_SCANNED = "kernel.edges_scanned"
+
+#: Counter name for per-word bitset work (dense kernels).
+WORDS_MERGED = "kernel.words_merged"
+
+#: Every kernel-work counter, in the order reports list them.
+KERNEL_WORK_COUNTERS = (EDGES_SCANNED, WORDS_MERGED)

@@ -1,0 +1,392 @@
+"""Dense bitset kernels: equivalence with the dict references.
+
+The dense layer (:mod:`repro.graphs.dense`) promises *identical
+observable results* to the dict-of-set implementations it replaces —
+same MCS orders, same colours, same conservative verdicts, same
+coalescing partitions — at strictly less kernel work.  These tests pin
+both promises, plus the snapshot harness that records them.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.graphs import dense as dn
+from repro.graphs.chordal import (
+    maximum_cardinality_search,
+    maximum_cardinality_search_dict,
+)
+from repro.graphs.coloring import greedy_coloring, greedy_coloring_dict
+from repro.graphs.dense import DenseGraph
+from repro.graphs.generators import random_chordal_graph, random_graph
+from repro.graphs.graph import Graph
+from repro.graphs.greedy import (
+    coloring_number,
+    greedy_elimination_order,
+    greedy_elimination_order_dict,
+    is_greedy_k_colorable,
+    is_greedy_k_colorable_dict,
+)
+from repro.graphs.interference import InterferenceGraph
+from repro.coalescing.conservative import TESTS, conservative_coalesce
+from repro.obs import EDGES_SCANNED, KERNEL_WORK_COUNTERS, WORDS_MERGED, Tracer
+
+
+def fuzz_graphs(count=40, max_n=18):
+    """A deterministic corpus of random graphs of varied density."""
+    out = []
+    for seed in range(count):
+        rng = random.Random(seed)
+        out.append(random_graph(rng.randint(0, max_n),
+                                rng.uniform(0.05, 0.9), rng))
+    return out
+
+
+class TestDenseGraph:
+    def test_roundtrip_is_lossless(self):
+        for g in fuzz_graphs():
+            assert DenseGraph.from_graph(g).to_graph() == g
+
+    def test_interning_follows_insertion_order(self):
+        g = Graph(vertices=["c", "a", "b"])
+        d = DenseGraph.from_graph(g)
+        assert d.names == ["c", "a", "b"]
+        assert d.index == {"c": 0, "a": 1, "b": 2}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DenseGraph(["x", "x"])
+
+    def test_basic_queries(self):
+        g = Graph(vertices=["a", "b", "c"])
+        g.add_edge("a", "b")
+        d = DenseGraph.from_graph(g)
+        assert d.n == 3 and d.num_alive() == 3 and d.num_edges() == 1
+        assert d.has_edge(0, 1) and not d.has_edge(0, 2)
+        assert d.deg == [1, 1, 0]
+        d.add_edge(1, 2)
+        assert d.num_edges() == 2 and d.deg == [1, 2, 1]
+        d.add_edge(1, 2)  # idempotent
+        assert d.num_edges() == 2
+        with pytest.raises(ValueError):
+            d.add_edge(1, 1)
+
+    def test_high_degree_mask(self):
+        g = Graph(vertices=["a", "b", "c", "d"])
+        for u in ("b", "c", "d"):
+            g.add_edge("a", u)
+        d = DenseGraph.from_graph(g)
+        assert d.high_degree_mask(2) == 0b0001
+        assert d.high_degree_mask(1) == 0b1111
+        assert d.high_degree_mask(4) == 0
+
+    def test_merge_semantics_and_common_mask(self):
+        #   a - x - b,  a - y,  b - y : merge a,b => common = {x, y}
+        g = Graph(vertices=["a", "b", "x", "y"])
+        g.add_edge("a", "x")
+        g.add_edge("b", "x")
+        g.add_edge("a", "y")
+        g.add_edge("b", "y")
+        d = DenseGraph.from_graph(g)
+        common = d.merge_in_place(0, 1)
+        assert common == (1 << 2) | (1 << 3)
+        assert d.num_alive() == 3 and not d.alive >> 1 & 1
+        assert d.deg[0] == 2 and d.deg[1] == 0 and d.adj[1] == 0
+        assert d.to_graph() == g.merged("a", "b")
+
+    def test_merge_errors(self):
+        g = Graph(vertices=["a", "b", "c"])
+        g.add_edge("a", "b")
+        d = DenseGraph.from_graph(g)
+        with pytest.raises(ValueError):
+            d.merge_in_place(0, 1)  # interfering
+        d.merge_in_place(0, 2)
+        with pytest.raises(KeyError):
+            d.merge_in_place(1, 2)  # 2 is dead
+
+    def test_copy_is_independent(self):
+        g = random_graph(8, 0.4, seed=1)
+        d = DenseGraph.from_graph(g)
+        c = d.copy()
+        c.merge_in_place(0, next(i for i in range(1, 8) if not d.has_edge(0, i)))
+        assert d.to_graph() == g
+        assert c.names is d.names  # interning is shared
+
+
+class TestKernelEquivalence:
+    def test_mcs_orders_identical(self):
+        for g in fuzz_graphs():
+            assert (maximum_cardinality_search(g)
+                    == maximum_cardinality_search_dict(g))
+
+    def test_mcs_chordal_graphs(self):
+        for seed in range(8):
+            g = random_chordal_graph(30, 6, seed=seed)
+            assert (maximum_cardinality_search(g)
+                    == maximum_cardinality_search_dict(g))
+
+    def test_greedy_coloring_identical(self):
+        for g in fuzz_graphs():
+            assert greedy_coloring(g) == greedy_coloring_dict(g)
+            order = list(reversed(list(g.vertices)))
+            assert (greedy_coloring(g, order=order)
+                    == greedy_coloring_dict(g, order=order))
+
+    def test_elimination_verdicts_identical(self):
+        for g in fuzz_graphs():
+            cn = coloring_number(g)
+            for k in (max(0, cn - 1), cn, cn + 1):
+                assert (is_greedy_k_colorable(g, k)
+                        == is_greedy_k_colorable_dict(g, k))
+                order, ok = greedy_elimination_order(g, k)
+                order_d, ok_d = greedy_elimination_order_dict(g, k)
+                assert ok == ok_d
+                if ok:
+                    assert sorted(map(str, order)) == sorted(map(str, order_d))
+
+    def test_negative_k_rejected(self):
+        g = random_graph(4, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            greedy_elimination_order(g, -1)
+        with pytest.raises(ValueError):
+            greedy_elimination_order_dict(g, -1)
+
+    def test_conservative_verdicts_identical(self):
+        """Each dense test agrees with its dict twin on every
+        non-adjacent pair, with and without a maintained high mask."""
+        for seed in range(20):
+            rng = random.Random(seed)
+            g = random_graph(rng.randint(2, 14), rng.uniform(0.1, 0.7), rng)
+            ig = InterferenceGraph(vertices=list(g.vertices))
+            for u, v in g.edges():
+                ig.add_edge(u, v)
+            d = DenseGraph.from_graph(ig)
+            k = rng.randint(1, 6)
+            high = d.high_degree_mask(k)
+            names = list(ig.vertices)
+            for name, dict_fn in TESTS.items():
+                dense_fn = dn.DENSE_TESTS[name]
+                for u in names:
+                    for v in names:
+                        if u == v:
+                            continue
+                        i, j = d.index[u], d.index[v]
+                        expected = dict_fn(ig, u, v, k)
+                        assert dense_fn(d, i, j, k) == expected, (name, u, v)
+                        assert dense_fn(d, i, j, k, high=high) == expected
+
+
+class TestConservativeBackends:
+    def test_partitions_and_counters_match(self):
+        from repro.challenge.generator import pressure_instance
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            inst = pressure_instance(rng.randint(3, 6), rng.randint(3, 6),
+                                     rng=rng)
+            for test in TESTS:
+                td, te = Tracer(), Tracer()
+                rd = conservative_coalesce(inst.graph, inst.k, test=test,
+                                           tracer=td, backend="dict")
+                re_ = conservative_coalesce(inst.graph, inst.k, test=test,
+                                            tracer=te, backend="dense")
+                assert sorted(rd.coalesced) == sorted(re_.coalesced)
+                assert sorted(rd.given_up) == sorted(re_.given_up)
+                for counter in ("conservative.rounds", "moves.attempted",
+                                "moves.coalesced", "moves.rejected",
+                                "moves.constrained", "queries.interference"):
+                    assert (td.counters.get(counter, 0)
+                            == te.counters.get(counter, 0)), (test, counter)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            conservative_coalesce(InterferenceGraph(), 2, backend="numpy")
+
+
+class TestBuildBackends:
+    def test_liveness_identical(self):
+        from repro.ir.generators import random_function
+        from repro.ir.liveness import compute_liveness, compute_liveness_dict
+
+        for seed in range(25):
+            f = random_function(seed=seed)
+            a = compute_liveness(f)
+            b = compute_liveness_dict(f)
+            assert a.live_in == b.live_in
+            assert a.live_out == b.live_out
+
+    def test_interference_identical(self):
+        from repro.ir.generators import random_function
+        from repro.ir.interference import chaitin_interference
+
+        for seed in range(25):
+            f = random_function(seed=seed)
+            gd = chaitin_interference(f, backend="dense")
+            gr = chaitin_interference(f, backend="dict")
+            assert set(gd.vertices) == set(gr.vertices)
+            assert ({frozenset(e) for e in gd.edges()}
+                    == {frozenset(e) for e in gr.edges()})
+            assert sorted(gd.affinities()) == sorted(gr.affinities())
+
+    def test_unknown_backend_rejected(self):
+        from repro.ir.generators import random_function
+        from repro.ir.interference import chaitin_interference
+
+        with pytest.raises(ValueError):
+            chaitin_interference(random_function(seed=0), backend="numpy")
+
+
+class TestWorkCounters:
+    def test_dense_scans_fewer_elements(self):
+        """The headline claim on a dense graph: the dense MCS / colour
+        kernels consume strictly less total work than the dict ones."""
+        g = random_graph(96, 0.3, seed=2)
+        d = DenseGraph.from_graph(g)
+        for dense_fn, dict_fn in (
+            (dn.mcs_order, maximum_cardinality_search_dict),
+            (dn.greedy_coloring, greedy_coloring_dict),
+        ):
+            td, tr = Tracer(), Tracer()
+            dense_fn(d, tracer=td)
+            dict_fn(g, tracer=tr)
+            dense_work = sum(td.counters.get(c, 0)
+                             for c in KERNEL_WORK_COUNTERS)
+            dict_work = sum(tr.counters.get(c, 0)
+                            for c in KERNEL_WORK_COUNTERS)
+            assert dense_work < dict_work
+
+    def test_counters_are_deterministic(self):
+        g = random_graph(40, 0.25, seed=9)
+        d = DenseGraph.from_graph(g)
+        reference = None
+        for _ in range(3):
+            t = Tracer()
+            dn.mcs_order(d, tracer=t)
+            dn.greedy_coloring(d, tracer=t)
+            snapshot = {c: t.counters.get(c, 0) for c in KERNEL_WORK_COUNTERS}
+            if reference is None:
+                reference = snapshot
+            assert snapshot == reference
+
+    def test_null_tracer_records_nothing(self):
+        g = random_graph(20, 0.3, seed=4)
+        assert maximum_cardinality_search(g) is not None
+        t = Tracer()
+        maximum_cardinality_search(g, tracer=t)
+        assert t.counters.get(EDGES_SCANNED, 0) > 0
+        assert t.counters.get(WORDS_MERGED, 0) > 0
+
+
+class TestSnapshotHarness:
+    def test_run_and_self_compare(self):
+        from repro.bench import compare_snapshots, run_snapshot
+
+        snap = run_snapshot(repeats=1, rev="test")
+        assert snap["schema_version"] == 1
+        assert snap["rev"] == "test"
+        keys = {(r["kernel"], r["instance"], r["backend"])
+                for r in snap["rows"]}
+        assert len(keys) == len(snap["rows"])
+        assert {k for k, _, _ in keys} == {"build", "mcs", "color", "coalesce"}
+        # work counters exactly reproduce; generous wall band for CI noise
+        again = run_snapshot(repeats=1, rev="test")
+        for a, b in zip(snap["rows"], again["rows"]):
+            assert a["counters"] == b["counters"]
+        assert compare_snapshots(snap, again, tolerance=50.0) == []
+
+    def test_compare_flags_counter_increase_and_slowdown(self):
+        from repro.bench import compare_snapshots
+
+        def doc(edges, wall):
+            return {
+                "schema_version": 1,
+                "rows": [{
+                    "kernel": "mcs", "instance": "g", "backend": "dense",
+                    "wall_ms": wall,
+                    "counters": {EDGES_SCANNED: edges, WORDS_MERGED: 5},
+                    "work": edges + 5,
+                }],
+            }
+
+        base = doc(100, 1.0)
+        assert compare_snapshots(base, doc(100, 1.2)) == []
+        assert any("increased" in p
+                   for p in compare_snapshots(base, doc(101, 1.0)))
+        assert any("wall_ms" in p
+                   for p in compare_snapshots(base, doc(100, 2.0)))
+        missing = {"schema_version": 1, "rows": []}
+        assert any("missing" in p for p in compare_snapshots(base, missing))
+        assert any("schema" in p
+                   for p in compare_snapshots(base, {"schema_version": 2}))
+
+    def test_work_reduction_enforcement(self):
+        from repro.bench.snapshot import work_reduction_problems
+
+        rows = [
+            {"kernel": "mcs", "instance": "g", "backend": "dense", "work": 10},
+            {"kernel": "mcs", "instance": "g", "backend": "dict", "work": 20},
+            {"kernel": "color", "instance": "g", "backend": "dense", "work": 30},
+            {"kernel": "color", "instance": "g", "backend": "dict", "work": 30},
+        ]
+        problems = work_reduction_problems(rows)
+        assert len(problems) == 1 and "color/g" in problems[0]
+
+    def test_write_load_roundtrip(self, tmp_path):
+        from repro.bench import load_snapshot, run_snapshot, write_snapshot
+
+        snap = run_snapshot(repeats=1, rev="test")
+        path = tmp_path / "BENCH_test.json"
+        write_snapshot(snap, str(path))
+        assert load_snapshot(str(path)) == json.loads(path.read_text())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema_version\": 99, \"rows\": []}\n")
+        with pytest.raises(ValueError):
+            load_snapshot(str(bad))
+
+    def test_committed_baseline_gate(self):
+        """The committed BENCH_*.json must pass the counter gate against
+        a fresh run (the CI regression gate, minus the wall band)."""
+        import glob
+        import os
+
+        from repro.bench import compare_snapshots, load_snapshot, run_snapshot
+
+        root = os.path.join(os.path.dirname(__file__), os.pardir)
+        baselines = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        assert baselines, "no committed BENCH_*.json baseline"
+        fresh = run_snapshot(repeats=1)
+        for path in baselines:
+            problems = compare_snapshots(load_snapshot(path), fresh,
+                                         tolerance=1e9)
+            assert problems == [], problems
+
+
+class TestBenchCLI:
+    def test_snapshot_and_compare_commands(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "snapshot", "--repeats", "1",
+                     "--rev", "cli", "-o", str(out)]) == 0
+        assert out.exists()
+        assert main(["bench", "compare", str(out), "--candidate", str(out)]) == 0
+        assert main(["bench", "compare"]) == 2
+        assert main(["bench", "compare", str(tmp_path / "nope.json")]) == 2
+        capsys.readouterr()
+
+    def test_compare_detects_regression(self, tmp_path, capsys):
+        from repro.bench import load_snapshot, write_snapshot
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "snapshot", "--repeats", "1",
+                     "--rev", "cli", "-o", str(out)]) == 0
+        doc = load_snapshot(str(out))
+        doc["rows"][0]["counters"][EDGES_SCANNED] += 1
+        worse = tmp_path / "BENCH_worse.json"
+        write_snapshot(doc, str(worse))
+        assert main(["bench", "compare", str(out),
+                     "--candidate", str(worse)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out

@@ -164,6 +164,125 @@ def test_fuzz_merge_preserves_coloring_semantics(seed):
 
 
 # ---------------------------------------------------------------------------
+# dense bitset backend vs dict reference
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_dense_roundtrip_and_merge(seed):
+    """DenseGraph.from_graph is lossless, and an arbitrary sequence of
+    dense merges mirrors the dict graph's own merged() semantics."""
+    from repro.graphs.dense import DenseGraph
+
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(1, 12), rng.uniform(0.1, 0.7), rng)
+    d = DenseGraph.from_graph(g)
+    assert d.to_graph() == g
+    mirror = g.copy()
+    for _ in range(4):
+        names = list(mirror.vertices)
+        pairs = [
+            (u, v)
+            for i, u in enumerate(names)
+            for v in names[i + 1:]
+            if not mirror.has_edge(u, v)
+        ]
+        if not pairs:
+            break
+        u, v = rng.choice(pairs)
+        d.merge_in_place(d.index[u], d.index[v])
+        mirror.merge_in_place(u, v)
+        assert d.to_graph() == mirror
+        check_graph_invariants(d.to_graph())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_dense_kernels_match_dict(seed):
+    """MCS orders, greedy colourings, and k-colorability verdicts are
+    identical between the dense kernels and the dict references."""
+    from repro.graphs.chordal import (
+        maximum_cardinality_search,
+        maximum_cardinality_search_dict,
+    )
+    from repro.graphs.coloring import greedy_coloring, greedy_coloring_dict
+    from repro.graphs.greedy import is_greedy_k_colorable_dict
+
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(0, 16), rng.uniform(0.05, 0.8), rng)
+    assert (maximum_cardinality_search(g)
+            == maximum_cardinality_search_dict(g))
+    assert greedy_coloring(g) == greedy_coloring_dict(g)
+    k = rng.randint(0, 8)
+    assert is_greedy_k_colorable(g, k) == is_greedy_k_colorable_dict(g, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_dense_conservative_tests_match_dict(seed):
+    """Briggs/George (and friends) return the same verdict on every
+    candidate pair in both backends."""
+    from repro.coalescing.conservative import TESTS
+    from repro.graphs.dense import DENSE_TESTS, DenseGraph
+
+    rng = random.Random(seed)
+    g = random_graph(rng.randint(2, 10), rng.uniform(0.1, 0.6), rng)
+    ig = InterferenceGraph(vertices=list(g.vertices))
+    for u, v in g.edges():
+        ig.add_edge(u, v)
+    d = DenseGraph.from_graph(ig)
+    k = rng.randint(1, 5)
+    names = list(ig.vertices)
+    test = rng.choice(sorted(TESTS))
+    for i, u in enumerate(names):
+        for v in names[i + 1:]:
+            assert (DENSE_TESTS[test](d, d.index[u], d.index[v], k)
+                    == TESTS[test](ig, u, v, k)), (test, u, v, k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_conservative_backends_agree(seed):
+    """Both conservative_coalesce backends produce the same partition
+    and the same move ledger on fuzz pressure instances."""
+    from repro.challenge.generator import pressure_instance
+    from repro.coalescing.conservative import conservative_coalesce
+
+    rng = random.Random(seed)
+    inst = pressure_instance(rng.randint(3, 6), rng.randint(3, 6),
+                             rng=rng, name=f"fuzz-{seed}")
+    test = rng.choice(["briggs", "george", "briggs_george"])
+    r_dict = conservative_coalesce(inst.graph, inst.k, test=test,
+                                   backend="dict")
+    r_dense = conservative_coalesce(inst.graph, inst.k, test=test,
+                                    backend="dense")
+    assert sorted(r_dict.coalesced) == sorted(r_dense.coalesced)
+    assert sorted(r_dict.given_up) == sorted(r_dense.given_up)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_fuzz_build_backends_agree(seed):
+    """Liveness sets and interference graphs (edges + affinities) are
+    identical between the mask-based and dict-based builders."""
+    from repro.ir.generators import random_function
+    from repro.ir.interference import chaitin_interference
+    from repro.ir.liveness import compute_liveness, compute_liveness_dict
+
+    func = random_function(seed)
+    dense_live = compute_liveness(func)
+    dict_live = compute_liveness_dict(func)
+    assert dense_live.live_in == dict_live.live_in
+    assert dense_live.live_out == dict_live.live_out
+    g_dense = chaitin_interference(func, backend="dense")
+    g_dict = chaitin_interference(func, backend="dict")
+    assert set(g_dense.vertices) == set(g_dict.vertices)
+    assert ({frozenset(e) for e in g_dense.edges()}
+            == {frozenset(e) for e in g_dict.edges()})
+    assert sorted(g_dense.affinities()) == sorted(g_dict.affinities())
+
+
+# ---------------------------------------------------------------------------
 # analysis passes on fuzz-generated artifacts
 # ---------------------------------------------------------------------------
 
