@@ -1,0 +1,162 @@
+"""Real vs generated: do coalescing-strategy rankings transfer?
+
+Runs the committed ``examples/campaign_frontend.json`` campaign — every
+corpus function from ``examples/llvm`` (the ``"llvm"`` generator, k =
+Maxlive) next to a sweep of generated ``program`` instances — through
+the verified engine path, then aggregates per-strategy totals for each
+cohort and ranks the strategies by residual move weight.
+
+The question this answers is the external-validity check for the
+paper's experiments: the generated instances are built to *mimic*
+compiler output, so a strategy ordering measured on them is only
+meaningful if real, frontend-lowered functions rank the strategies the
+same way.  The artifact records both rankings plus their Kendall tau.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/frontend_rankings.py \
+        [--cache-dir DIR] [-o artifacts/frontend_rankings.json]
+
+The default output path is the committed artifact; CI re-runs the
+campaign (fully cached after the first run) and the artifact is
+regenerated whenever the corpus or the strategies change.
+"""
+
+import argparse
+import json
+import sys
+from itertools import combinations
+from pathlib import Path
+
+from repro.engine import ResultCache, load_campaign, run_campaign
+from repro.engine.tasks import task_hash
+
+REPO = Path(__file__).resolve().parents[1]
+SPEC = REPO / "examples" / "campaign_frontend.json"
+
+
+def _cohort(spec_dict):
+    return "real" if spec_dict["generator"] == "llvm" else "generated"
+
+
+def _rank(totals):
+    """Strategies ordered best-first by residual weight (the moves a
+    strategy failed to remove), coalesced weight breaking ties."""
+    return sorted(
+        totals,
+        key=lambda s: (totals[s]["residual_weight"],
+                       -totals[s]["coalesced_weight"], s),
+    )
+
+
+def kendall_tau(order_a, order_b):
+    """Kendall rank correlation of two orderings of the same items."""
+    pos_a = {s: i for i, s in enumerate(order_a)}
+    pos_b = {s: i for i, s in enumerate(order_b)}
+    pairs = list(combinations(sorted(pos_a), 2))
+    if not pairs:
+        return 1.0
+    concordant = sum(
+        1 if (pos_a[u] - pos_a[v]) * (pos_b[u] - pos_b[v]) > 0 else -1
+        for u, v in pairs
+    )
+    return concordant / len(pairs)
+
+
+def build_artifact(campaign, cache, summary):
+    totals = {}
+    for spec in campaign.tasks:
+        record = cache.get(task_hash(spec))
+        if record is None or record.get("status") != "ok":
+            raise RuntimeError(
+                f"task {task_hash(spec)} ({spec.strategy} on "
+                f"{spec.generator}) did not finish ok"
+            )
+        payload = record["payload"]
+        bucket = totals.setdefault(_cohort(record["task"]), {}).setdefault(
+            spec.strategy,
+            {"instances": 0, "coalesced": 0,
+             "coalesced_weight": 0.0, "residual_weight": 0.0},
+        )
+        bucket["instances"] += 1
+        bucket["coalesced"] += payload["coalesced"]
+        bucket["coalesced_weight"] += payload["coalesced_weight"]
+        bucket["residual_weight"] += payload["residual_weight"]
+
+    cohorts = {}
+    for name, per_strategy in sorted(totals.items()):
+        affinity = None
+        for stats in per_strategy.values():
+            total = stats["coalesced_weight"] + stats["residual_weight"]
+            affinity = total if affinity is None else affinity
+            stats["coalesced_share"] = round(
+                stats["coalesced_weight"] / total, 4
+            ) if total else 1.0
+            stats["coalesced_weight"] = round(stats["coalesced_weight"], 4)
+            stats["residual_weight"] = round(stats["residual_weight"], 4)
+        cohorts[name] = {
+            "totals": dict(sorted(per_strategy.items())),
+            "ranking": _rank(per_strategy),
+        }
+    tau = kendall_tau(cohorts["real"]["ranking"],
+                      cohorts["generated"]["ranking"])
+    return {
+        "campaign": summary["campaign"],
+        "engine_version": summary["engine_version"],
+        "result_hash": summary["result_hash"],
+        "verification": summary.get("verification"),
+        "cohorts": cohorts,
+        "ranking_agreement": {
+            "kendall_tau": round(tau, 4),
+            "identical": cohorts["real"]["ranking"]
+            == cohorts["generated"]["ranking"],
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="campaign workers (0 = inline)")
+    parser.add_argument(
+        "-o", "--output",
+        default=str(REPO / "artifacts" / "frontend_rankings.json"),
+    )
+    args = parser.parse_args(argv)
+
+    campaign = load_campaign(str(SPEC))
+    cache = ResultCache(args.cache_dir)
+    summary = run_campaign(
+        campaign, cache, workers=args.workers, verify=True,
+        write_summary=False,
+    )
+    if summary["failed_tasks"]:
+        print(f"failed tasks: {summary['failed_tasks']}", file=sys.stderr)
+        return 1
+    verification = summary.get("verification") or {}
+    if verification.get("failed"):
+        print(f"verification failed: {verification['failed']}",
+              file=sys.stderr)
+        return 1
+
+    artifact = build_artifact(campaign, cache, summary)
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as stream:
+        json.dump(artifact, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    print(f"{artifact['campaign']}: {summary['total_tasks']} tasks, "
+          f"{verification.get('certified', 0)} certified")
+    for name, cohort in artifact["cohorts"].items():
+        print(f"  {name:<10} ranking: {', '.join(cohort['ranking'])}")
+    agreement = artifact["ranking_agreement"]
+    print(f"  kendall tau {agreement['kendall_tau']} "
+          f"(identical: {agreement['identical']})")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

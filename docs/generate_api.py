@@ -31,6 +31,8 @@ MODULES = [
     "repro.ir.out_of_ssa", "repro.ir.interference", "repro.ir.generators",
     "repro.ir.gadget_programs", "repro.ir.parser", "repro.ir.interp",
     "repro.ir.rename",
+    "repro.frontend.tokens", "repro.frontend.parser",
+    "repro.frontend.lower", "repro.frontend.corpus",
     "repro.coalescing.base", "repro.coalescing.aggressive",
     "repro.coalescing.conservative", "repro.coalescing.incremental",
     "repro.coalescing.optimistic", "repro.coalescing.exact",

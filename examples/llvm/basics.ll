@@ -1,0 +1,34 @@
+; Straight-line integer arithmetic: the smallest interesting
+; interference graphs, and the entry point most readers should
+; start from.
+source_filename = "basics.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @abs_diff(i32 %a, i32 %b) {
+entry:
+  %cmp = icmp sgt i32 %a, %b
+  %d1 = sub nsw i32 %a, %b
+  %d2 = sub nsw i32 %b, %a
+  %res = select i1 %cmp, i32 %d1, i32 %d2
+  ret i32 %res
+}
+
+define i32 @clamp(i32 %x, i32 %lo, i32 %hi) {
+entry:
+  %below = icmp slt i32 %x, %lo
+  %t0 = select i1 %below, i32 %lo, i32 %x
+  %above = icmp sgt i32 %t0, %hi
+  %t1 = select i1 %above, i32 %hi, i32 %t0
+  ret i32 %t1
+}
+
+define i64 @mul_add(i32 %a, i32 %b, i32 %c) {
+entry:
+  %aw = sext i32 %a to i64
+  %bw = sext i32 %b to i64
+  %cw = sext i32 %c to i64
+  %prod = mul nsw i64 %aw, %bw
+  %sum = add nsw i64 %prod, %cw
+  ret i64 %sum
+}

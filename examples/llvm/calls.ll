@@ -1,0 +1,27 @@
+; Calls as single def-with-uses instructions: declared externals,
+; intrinsics, a tail call, and a void call whose arguments still
+; extend live ranges across the call site.
+source_filename = "calls.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+declare i32 @llvm.smax.i32(i32, i32)
+declare i32 @scale(i32, i32)
+declare void @record(i32)
+
+define i32 @dot3(i32 %a0, i32 %a1, i32 %a2, i32 %b0, i32 %b1, i32 %b2) {
+entry:
+  %p0 = call i32 @scale(i32 %a0, i32 %b0)
+  %p1 = call i32 @scale(i32 %a1, i32 %b1)
+  %p2 = call i32 @scale(i32 %a2, i32 %b2)
+  %s01 = add nsw i32 %p0, %p1
+  %sum = add nsw i32 %s01, %p2
+  call void @record(i32 %sum)
+  ret i32 %sum
+}
+
+define i32 @max3(i32 %a, i32 %b, i32 %c) {
+entry:
+  %ab = call i32 @llvm.smax.i32(i32 %a, i32 %b)
+  %abc = tail call i32 @llvm.smax.i32(i32 %ab, i32 %c)
+  ret i32 %abc
+}

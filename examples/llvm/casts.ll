@@ -1,0 +1,23 @@
+; Value-preserving conversions lower to real `mov` copies — the
+; direct coalescing targets — while width-changing casts stay opaque
+; single-def instructions.
+source_filename = "casts.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @bits_of_float(float %f, i32 %mask) {
+entry:
+  %raw = bitcast float %f to i32
+  %frozen = freeze i32 %raw
+  %masked = and i32 %frozen, %mask
+  ret i32 %masked
+}
+
+define i64 @widen_mix(i32 %a, i16 %b) {
+entry:
+  %aw = sext i32 %a to i64
+  %bw = zext i16 %b to i64
+  %aliased = freeze i64 %aw
+  %sum = add nsw i64 %aliased, %bw
+  %spun = freeze i64 %sum
+  ret i64 %spun
+}

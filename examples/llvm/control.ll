@@ -1,0 +1,69 @@
+; Branchy control flow: diamonds with φ-joins, a switch with shared
+; targets, and constant φ-incomings that the lowering has to
+; materialize in the predecessors.
+source_filename = "control.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @sign(i32 %x) {
+entry:
+  %isneg = icmp slt i32 %x, 0
+  br i1 %isneg, label %neg, label %nonneg
+
+neg:
+  br label %join
+
+nonneg:
+  %iszero = icmp eq i32 %x, 0
+  %pos = select i1 %iszero, i32 0, i32 1
+  br label %join
+
+join:
+  %res = phi i32 [ -1, %neg ], [ %pos, %nonneg ]
+  ret i32 %res
+}
+
+define i32 @day_penalty(i32 %day, i32 %base) {
+entry:
+  switch i32 %day, label %weekday [
+    i32 0, label %weekend
+    i32 6, label %weekend
+    i32 3, label %midweek
+  ]
+
+weekend:
+  %doubled = shl nsw i32 %base, 1
+  br label %done
+
+midweek:
+  %halved = ashr i32 %base, 1
+  br label %done
+
+weekday:
+  br label %done
+
+done:
+  %res = phi i32 [ %doubled, %weekend ], [ %halved, %midweek ], [ %base, %weekday ]
+  ret i32 %res
+}
+
+define i32 @parity_desc(i32 %n) {
+entry:
+  %bit = and i32 %n, 1
+  %odd = icmp ne i32 %bit, 0
+  br i1 %odd, label %oddcase, label %evencase
+
+oddcase:
+  %tripled = mul nsw i32 %n, 3
+  %bumped = add nsw i32 %tripled, 1
+  br label %merge
+
+evencase:
+  %halved = sdiv i32 %n, 2
+  br label %merge
+
+merge:
+  %next = phi i32 [ %bumped, %oddcase ], [ %halved, %evencase ]
+  %wide = sext i32 %next to i64
+  %trunced = trunc i64 %wide to i32
+  ret i32 %trunced
+}

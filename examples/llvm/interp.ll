@@ -1,0 +1,94 @@
+; A bytecode-interpreter step loop: fetch, an 8-way dispatch
+; switch, one tiny block per opcode, and a join that phi-merges the
+; four accumulators from every case.  Many small blocks around a loop
+; keep the liveness fixpoint busy while the variable count stays
+; within one bitset word -- this file feeds the pinned benchmark
+; suite's frontend row.
+source_filename = "interp.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @interp_run(ptr %code, i32 %len, i32 %a0, i32 %b0, i32 %c0, i32 %d0) {
+entry:
+  br label %head
+
+head:
+  %pc = phi i32 [ 0, %entry ], [ %pc.next, %join ]
+  %a = phi i32 [ %a0, %entry ], [ %a.next, %join ]
+  %b = phi i32 [ %b0, %entry ], [ %b.next, %join ]
+  %c = phi i32 [ %c0, %entry ], [ %c.next, %join ]
+  %d = phi i32 [ %d0, %entry ], [ %d.next, %join ]
+  %done = icmp sge i32 %pc, %len
+  br i1 %done, label %exit, label %fetch
+
+fetch:
+  %idx = zext i32 %pc to i64
+  %slot = getelementptr inbounds i8, ptr %code, i64 %idx
+  %opcode = load i8, ptr %slot, align 1
+  %op = zext i8 %opcode to i32
+  switch i32 %op, label %other [
+    i32 0, label %case0
+    i32 1, label %case1
+    i32 2, label %case2
+    i32 3, label %case3
+    i32 4, label %case4
+    i32 5, label %case5
+    i32 6, label %case6
+    i32 7, label %case7
+  ]
+
+case0:
+  %t0 = add i32 %b, %c
+  %a.0 = add i32 %t0, %a
+  br label %join
+
+case1:
+  %t1 = xor i32 %c, %d
+  %b.1 = add i32 %t1, %b
+  br label %join
+
+case2:
+  %t2 = mul i32 %d, %a
+  %c.2 = add i32 %t2, %c
+  br label %join
+
+case3:
+  %t3 = sub i32 %a, %b
+  %d.3 = add i32 %t3, %d
+  br label %join
+
+case4:
+  %t4 = or i32 %b, %c
+  %a.4 = add i32 %t4, %a
+  br label %join
+
+case5:
+  %t5 = and i32 %c, %d
+  %b.5 = add i32 %t5, %b
+  br label %join
+
+case6:
+  %t6 = shl i32 %d, %a
+  %c.6 = add i32 %t6, %c
+  br label %join
+
+case7:
+  %t7 = lshr i32 %a, %b
+  %d.7 = add i32 %t7, %d
+  br label %join
+other:
+  br label %join
+
+join:
+  %a.next = phi i32 [ %a, %other ], [ %a.0, %case0 ], [ %a, %case1 ], [ %a, %case2 ], [ %a, %case3 ], [ %a.4, %case4 ], [ %a, %case5 ], [ %a, %case6 ], [ %a, %case7 ]
+  %b.next = phi i32 [ %b, %other ], [ %b, %case0 ], [ %b.1, %case1 ], [ %b, %case2 ], [ %b, %case3 ], [ %b, %case4 ], [ %b.5, %case5 ], [ %b, %case6 ], [ %b, %case7 ]
+  %c.next = phi i32 [ %c, %other ], [ %c, %case0 ], [ %c, %case1 ], [ %c.2, %case2 ], [ %c, %case3 ], [ %c, %case4 ], [ %c, %case5 ], [ %c.6, %case6 ], [ %c, %case7 ]
+  %d.next = phi i32 [ %d, %other ], [ %d, %case0 ], [ %d, %case1 ], [ %d, %case2 ], [ %d.3, %case3 ], [ %d, %case4 ], [ %d, %case5 ], [ %d, %case6 ], [ %d.7, %case7 ]
+  %pc.next = add nuw nsw i32 %pc, 1
+  br label %head
+
+exit:
+  %ab = xor i32 %a, %b
+  %cd = xor i32 %c, %d
+  %res = xor i32 %ab, %cd
+  ret i32 %res
+}

@@ -1,0 +1,58 @@
+; Loop nests: φ-carried accumulators, loop-exit φs, and the
+; frequency-weighted affinities that make coalescing decisions
+; matter most inside hot loops.
+source_filename = "loops.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @sum_squares(i32 %n) {
+entry:
+  %enter = icmp sgt i32 %n, 0
+  br i1 %enter, label %loop, label %exit
+
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i.next, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %acc.next, %loop ]
+  %sq = mul nsw i32 %i, %i
+  %acc.next = add nsw i32 %acc, %sq
+  %i.next = add nuw nsw i32 %i, 1
+  %done = icmp eq i32 %i.next, %n
+  br i1 %done, label %exit, label %loop
+
+exit:
+  %res = phi i32 [ 0, %entry ], [ %acc.next, %loop ]
+  ret i32 %res
+}
+
+define i32 @gcd(i32 %a, i32 %b) {
+entry:
+  %bzero = icmp eq i32 %b, 0
+  br i1 %bzero, label %done, label %loop
+
+loop:
+  %x = phi i32 [ %a, %entry ], [ %y, %loop ]
+  %y = phi i32 [ %b, %entry ], [ %r, %loop ]
+  %r = urem i32 %x, %y
+  %rzero = icmp eq i32 %r, 0
+  br i1 %rzero, label %done, label %loop
+
+done:
+  %res = phi i32 [ %a, %entry ], [ %y, %loop ]
+  ret i32 %res
+}
+
+define i32 @popcount(i32 %x) {
+entry:
+  br label %loop
+
+loop:
+  %v = phi i32 [ %x, %entry ], [ %v.next, %loop ]
+  %count = phi i32 [ 0, %entry ], [ %count.next, %loop ]
+  %bit = and i32 %v, 1
+  %count.next = add nuw nsw i32 %count, %bit
+  %v.next = lshr i32 %v, 1
+  %more = icmp ne i32 %v.next, 0
+  br i1 %more, label %loop, label %exit
+
+exit:
+  ret i32 %count.next
+}

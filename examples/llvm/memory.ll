@@ -1,0 +1,45 @@
+; Memory traffic as opaque defs and uses: both load spellings
+; (typed-pointer and opaque-pointer), stores, getelementptr address
+; arithmetic, and a stack slot from alloca.
+source_filename = "memory.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @sum_array(ptr %base, i32 %n) {
+entry:
+  %enter = icmp sgt i32 %n, 0
+  br i1 %enter, label %loop, label %exit
+
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i.next, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %acc.next, %loop ]
+  %idx = zext i32 %i to i64
+  %slot = getelementptr inbounds i32, ptr %base, i64 %idx
+  %elem = load i32, ptr %slot, align 4
+  %acc.next = add nsw i32 %acc, %elem
+  %i.next = add nuw nsw i32 %i, 1
+  %done = icmp eq i32 %i.next, %n
+  br i1 %done, label %exit, label %loop
+
+exit:
+  %res = phi i32 [ 0, %entry ], [ %acc.next, %loop ]
+  ret i32 %res
+}
+
+define void @swap(i32* %p, i32* %q) {
+entry:
+  %a = load i32* %p, align 4
+  %b = load i32* %q, align 4
+  store i32 %b, i32* %p, align 4
+  store i32 %a, i32* %q, align 4
+  ret void
+}
+
+define i32 @spill_roundtrip(i32 %x) {
+entry:
+  %slot = alloca i32, align 4
+  %doubled = shl nsw i32 %x, 1
+  store i32 %doubled, ptr %slot, align 4
+  %back = load i32, ptr %slot, align 4
+  %res = add nsw i32 %back, %x
+  ret i32 %res
+}

@@ -109,6 +109,29 @@ def pinned_suite() -> List[Dict[str, object]]:
             },
         })
 
+    # --- interference build on a real frontend-lowered function -----
+    # interp.ll is a dispatch loop with many small blocks: the dict
+    # baseline pays for the liveness fixpoint element by element, while
+    # 41 variables fit one bitset word.  (A straight-line block would
+    # NOT qualify here — with trivial liveness both backends' work is
+    # edge-dominated and the dense word merges are pure overhead.)
+    from ..frontend.corpus import corpus_dir, load_functions
+
+    with open(corpus_dir() / "interp.ll") as stream:
+        ll_func = load_functions(stream.read())[0]
+    cases.append({
+        "kernel": "build",
+        "instance": "ll-interp",
+        "runners": {
+            "dense": lambda t, f=ll_func: chaitin_interference(
+                f, backend="dense", tracer=t
+            ),
+            "dict": lambda t, f=ll_func: chaitin_interference(
+                f, backend="dict", tracer=t
+            ),
+        },
+    })
+
     # --- MCS and greedy colouring on synthetic graphs ----------------
     graphs = [
         ("er-192", random_graph(192, 0.15, seed=11)),

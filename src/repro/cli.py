@@ -4,8 +4,10 @@ Commands
 --------
 
 ``info FILE``
-    Statistics of the instances in a challenge file (or of a DIMACS
-    graph with ``--dimacs``): sizes, chordality, colouring number.
+    Statistics of the instances in a challenge file, a DIMACS graph
+    (``--dimacs``), or a textual LLVM-IR ``.ll`` file (one instance
+    per function, lowered by :mod:`repro.frontend`; ``--k`` overrides
+    the Maxlive default): sizes, chordality, colouring number.
 
 ``coalesce FILE [--strategy S] [--k K]``
     Run a coalescing strategy on every instance of a challenge file and
@@ -24,8 +26,9 @@ Commands
     text, JSON, or CSV).  ``coalesce`` and ``allocate`` accept
     ``--trace`` for the same data inline.
 
-``dot FILE [--instance NAME]``
-    Render an instance as Graphviz DOT on stdout.
+``dot FILE [--instance NAME] [--cfg]``
+    Render an instance as Graphviz DOT on stdout; ``--cfg`` renders a
+    ``.ll``/IR function's control-flow graph instead.
 
 ``campaign {run,status,resume} SPEC [--workers N] [--cache-dir DIR]``
     Execute an experiment campaign (a JSON spec of task grids) through
@@ -37,8 +40,9 @@ Commands
 
 ``check FILE... [--json] [--severity LEVEL] [--k K]``
     Run the :mod:`repro.analysis` static checker over challenge files,
-    IR files, or DIMACS graphs (auto-detected per file).  See
-    ``docs/ANALYSIS.md`` for the pass catalog and diagnostic codes.
+    IR files, ``.ll`` files, or DIMACS graphs (auto-detected per
+    file).  See ``docs/ANALYSIS.md`` for the pass catalog and
+    diagnostic codes.
 
 ``bench {snapshot,compare} [BASELINE] [--repeats N] [--tolerance T]``
     Run the pinned kernel suite (interference build, MCS, greedy
@@ -70,7 +74,8 @@ Every command uses the same scheme:
   strategy that errored on an instance);
 * ``2`` — usage or input errors: a file that is missing, empty, or
   malformed, a spec that does not parse, a required ``--k`` that was
-  not given.
+  not given.  Parse errors that carry a source line (IR and ``.ll``
+  input) print as ``file:line: message``.
 """
 
 from __future__ import annotations
@@ -112,9 +117,50 @@ class _InputError(Exception):
     """A file that is missing, unreadable, empty, or malformed."""
 
 
+def _syntax_error(path: str, exc: Exception) -> "_InputError":
+    """Format a parse error as ``file:line: message`` when the
+    exception carries a line number (IR and frontend errors do)."""
+    lineno = getattr(exc, "lineno", None)
+    message = getattr(exc, "message", None)
+    if lineno is not None and message is not None:
+        return _InputError(f"{path}:{lineno}: {message}")
+    return _InputError(f"{path}: {exc}")
+
+
+def _load_ir_functions(path: str):
+    """Parse ``path`` into IR functions — through :mod:`repro.frontend`
+    for ``.ll`` input, through :mod:`repro.ir.parser` otherwise."""
+    from .ir.parser import IRSyntaxError, parse_functions
+
+    try:
+        if _sniff_format(path) == "llvm":
+            from .frontend import FrontendSyntaxError, LoweringError, parse_path
+            from .frontend.lower import lower_module
+
+            try:
+                return lower_module(parse_path(path))
+            except (FrontendSyntaxError, LoweringError) as exc:
+                raise _syntax_error(path, exc) from exc
+        with open(path) as stream:
+            functions = parse_functions(stream)
+    except OSError as exc:
+        raise _InputError(f"{path}: {exc.strerror or exc}") from exc
+    except IRSyntaxError as exc:
+        raise _syntax_error(path, exc) from exc
+    if not functions:
+        raise _InputError(f"{path}: no functions found (empty file?)")
+    return functions
+
+
 def _load(path: str, dimacs: bool, k: int = 0):
     """Load instances, converting I/O and parse errors to
-    :class:`_InputError` so commands exit 2 instead of tracebacking."""
+    :class:`_InputError` so commands exit 2 instead of tracebacking.
+
+    Formats are auto-detected (:func:`_sniff_format`): challenge files
+    load as-is, DIMACS graphs wrap into one instance, and ``.ll`` files
+    go through the :mod:`repro.frontend` pipeline — one instance per
+    lowered function, with ``k`` defaulting to each function's Maxlive.
+    """
     from .challenge.format import ChallengeInstance
 
     try:
@@ -122,10 +168,24 @@ def _load(path: str, dimacs: bool, k: int = 0):
             with open(path) as stream:
                 graph = read_dimacs(stream)
             return [ChallengeInstance(name=path, k=k, graph=graph)]
-        with open(path) as stream:
-            instances = load_instances(stream)
+        if _sniff_format(path) == "llvm":
+            from .frontend import (
+                FrontendSyntaxError,
+                LoweringError,
+                instances_from_path,
+            )
+
+            try:
+                instances = instances_from_path(path, k=k)
+            except (FrontendSyntaxError, LoweringError) as exc:
+                raise _syntax_error(path, exc) from exc
+        else:
+            with open(path) as stream:
+                instances = load_instances(stream)
     except OSError as exc:
         raise _InputError(f"{path}: {exc.strerror or exc}") from exc
+    except _InputError:
+        raise
     except ValueError as exc:
         raise _InputError(f"{path}: {exc}") from exc
     if not instances:
@@ -134,9 +194,9 @@ def _load(path: str, dimacs: bool, k: int = 0):
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    """Describe the instances in a challenge (or DIMACS) file."""
+    """Describe the instances in a challenge, DIMACS, or ``.ll`` file."""
     try:
-        instances = _load(args.file, args.dimacs)
+        instances = _load(args.file, args.dimacs, k=args.k)
     except _InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -258,22 +318,13 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_allocate(args: argparse.Namespace) -> int:
-    """Register-allocate the IR functions in a file."""
+    """Register-allocate the IR (or ``.ll``) functions in a file."""
     from .allocator import chaitin_allocate, ssa_allocate
-    from .ir.parser import IRSyntaxError, parse_functions
 
     try:
-        with open(args.file) as stream:
-            functions = parse_functions(stream)
-    except OSError as exc:
-        print(f"error: {args.file}: {exc.strerror or exc}", file=sys.stderr)
-        return 2
-    except IRSyntaxError as exc:
-        print(f"error: {args.file}: {exc}", file=sys.stderr)
-        return 2
-    if not functions:
-        print(f"error: {args.file}: no functions found (empty file?)",
-              file=sys.stderr)
+        functions = _load_ir_functions(args.file)
+    except _InputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     status = 0
     trace = getattr(args, "trace", False)
@@ -472,13 +523,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+#: First meaningful tokens that mark a file as textual LLVM IR.
+_LLVM_LEADS = (
+    "define ", "declare ", "source_filename", "target ", "@", "%", "!",
+    "attributes ",
+)
+
+
 def _sniff_format(path: str) -> str:
-    """Guess a file's format from its first meaningful line."""
+    """Guess a file's format from its extension and first meaningful
+    line: ``llvm`` (``.ll``), ``ir``, ``dimacs``, or ``challenge``."""
+    if path.endswith(".ll"):
+        return "llvm"
     with open(path) as stream:
         for line in stream:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
+            if line.startswith(";") or line.startswith(_LLVM_LEADS):
+                return "llvm"
             if line.startswith("func "):
                 return "ir"
             if line.startswith(("c ", "c\t", "p ", "p\t")) or line == "c":
@@ -503,17 +566,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         objects = 0
         try:
             fmt = "dimacs" if args.dimacs else _sniff_format(path)
-            if fmt == "ir":
-                from .ir.parser import IRSyntaxError, parse_functions
-
-                try:
-                    with open(path) as stream:
-                        functions = parse_functions(stream)
-                except IRSyntaxError as exc:
-                    raise _InputError(f"{path}: {exc}") from exc
-                if not functions:
-                    raise _InputError(f"{path}: no functions found")
-                for func in functions:
+            if fmt in ("ir", "llvm"):
+                for func in _load_ir_functions(path):
                     objects += 1
                     diagnostics.extend(check_function(
                         func, k=args.k, budget=budget,
@@ -715,7 +769,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
-    """Render one instance as Graphviz DOT on stdout."""
+    """Render one instance (or, with ``--cfg``, a ``.ll``/IR function's
+    control-flow graph) as Graphviz DOT on stdout."""
+    if args.cfg:
+        from .frontend.corpus import cfg_dot
+
+        try:
+            functions = _load_ir_functions(args.file)
+        except _InputError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for func in functions:
+            if args.instance and func.name != args.instance:
+                continue
+            sys.stdout.write(cfg_dot(func))
+            return 0
+        print(f"function {args.instance!r} not found", file=sys.stderr)
+        return 2
     try:
         instances = _load(args.file, args.dimacs)
     except _InputError as exc:
@@ -741,6 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="describe instances in a file")
     p.add_argument("file")
+    p.add_argument("--k", type=int, default=0,
+                   help="register count for DIMACS/.ll input "
+                   "(.ll defaults to each function's Maxlive)")
     p.add_argument("--dimacs", action="store_true")
     p.set_defaults(func=cmd_info)
 
@@ -861,7 +934,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dot", help="render an instance as Graphviz DOT")
     p.add_argument("file")
-    p.add_argument("--instance", help="instance name (default: first)")
+    p.add_argument("--instance",
+                   help="instance or function name (default: first)")
+    p.add_argument("--cfg", action="store_true",
+                   help="render the control-flow graph of a .ll/IR "
+                   "function instead of an interference graph")
     p.add_argument("--dimacs", action="store_true")
     p.set_defaults(func=cmd_dot)
 

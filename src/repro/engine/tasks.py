@@ -11,8 +11,11 @@ result cache.
 Three generator families:
 
 * **instance generators** — ``"pressure"`` and ``"program"`` (the
-  :mod:`repro.challenge.generator` corpus), or a dotted
-  ``"module:function"`` path returning a
+  :mod:`repro.challenge.generator` corpus), ``"llvm"`` (a real function
+  parsed and lowered from a ``.ll`` file by :mod:`repro.frontend` —
+  ``params["path"]`` names the file, optional ``params["function"]``
+  selects a function and ``params["sha256"]`` pins the file content),
+  or a dotted ``"module:function"`` path returning a
   :class:`~repro.challenge.format.ChallengeInstance`;
 * **custom calls** — ``strategy="call"`` with a dotted generator path:
   the function is called as ``fn(seed, k, params, tracer, budget)`` and
@@ -67,7 +70,7 @@ __all__ = [
 ENGINE_VERSION = "1"
 
 #: Built-in instance generators (see :func:`_generate_instance`).
-INSTANCE_GENERATORS = ("pressure", "program")
+INSTANCE_GENERATORS = ("pressure", "program", "llvm")
 
 #: Fault-injection generators for exercising the pool's containment.
 FAULT_GENERATORS = ("sleep", "crash")
@@ -290,6 +293,26 @@ def _generate_instance(spec: TaskSpec) -> ChallengeInstance:
             spec.k,
             num_vars=int(params.get("num_vars", 12)),
             name=f"program-s{spec.seed}",
+        )
+    if spec.generator == "llvm":
+        import os
+
+        from ..frontend.corpus import corpus_dir, instance_from_path
+
+        path = params.get("path")
+        if path is None:
+            raise ValueError("the llvm generator requires params['path']")
+        if not os.path.exists(path):
+            # bare file names resolve against the checked-in corpus, so
+            # campaign specs stay portable across working directories
+            candidate = corpus_dir() / path
+            if candidate.exists():
+                path = candidate
+        return instance_from_path(
+            path,
+            k=spec.k,
+            function=params.get("function"),
+            sha256=params.get("sha256"),
         )
     fn = _resolve_dotted(spec.generator)
     instance = fn(seed=spec.seed, k=spec.k, **params)

@@ -30,11 +30,17 @@ _FREQ_RE = re.compile(r"^freq\s+(\S+)\s+([0-9.eE+-]+)$")
 
 
 class IRSyntaxError(ValueError):
-    """Raised on malformed IR text, with a line number."""
+    """Raised on malformed IR text, with a line number.
+
+    ``lineno`` and the bare ``message`` are kept as attributes so the
+    CLI can print ``file:line: message`` without re-parsing ``str(exc)``
+    (the frontend's errors expose the same pair).
+    """
 
     def __init__(self, lineno: int, message: str) -> None:
         super().__init__(f"line {lineno}: {message}")
         self.lineno = lineno
+        self.message = message
 
 
 def _split_names(text: str) -> Tuple[str, ...]:
