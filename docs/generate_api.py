@@ -56,6 +56,8 @@ MODULES = [
     "repro.challenge.format", "repro.challenge.generator",
     "repro.challenge.scoring",
     "repro.analysis.diagnostics", "repro.analysis.registry",
+    "repro.analysis.dataflow", "repro.analysis.flow_check",
+    "repro.analysis.provenance", "repro.analysis.sarif",
     "repro.analysis.ssa_check", "repro.analysis.liveness_check",
     "repro.analysis.certificates", "repro.analysis.coalescing_check",
     "repro.analysis.runner", "repro.analysis.engine_check",

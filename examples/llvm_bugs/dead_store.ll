@@ -1,0 +1,23 @@
+; Seeded bug: %waste is computed and never read on any path, and the
+; second store to the same logical value in the diamond overwrites a
+; value nobody consumed.  `repro check` must report FLOW002 here.
+source_filename = "dead_store.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @dead_store(i32 %a, i32 %b) {
+entry:
+  %sum = add nsw i32 %a, %b
+  %waste = mul nsw i32 %sum, %b
+  %cmp = icmp sgt i32 %sum, 0
+  br i1 %cmp, label %pos, label %neg
+
+pos:
+  %unused = shl nsw i32 %a, 1
+  br label %join
+
+neg:
+  br label %join
+
+join:
+  ret i32 %sum
+}

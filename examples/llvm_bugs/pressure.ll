@@ -1,0 +1,18 @@
+; Seeded pattern: six values are simultaneously live at the reduction
+; point, so any k below Maxlive makes this block a spill hotspot.
+; `repro check --k 3` must report FLOW004 warnings here (and the
+; hotspot info always locates the peak block).
+source_filename = "pressure.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @wide_reduce(i32 %a, i32 %b, i32 %c, i32 %d) {
+entry:
+  %p1 = mul nsw i32 %a, %b
+  %p2 = mul nsw i32 %c, %d
+  %p3 = mul nsw i32 %a, %d
+  %p4 = mul nsw i32 %b, %c
+  %s1 = add nsw i32 %p1, %p2
+  %s2 = add nsw i32 %p3, %p4
+  %s3 = add nsw i32 %s1, %s2
+  ret i32 %s3
+}

@@ -1,0 +1,14 @@
+; Seeded pattern: a chain of bit-identical copies (bitcast/freeze
+; lower to `mov`) whose endpoints never interfere — every coalescing
+; strategy is allowed to merge them.  `repro check --severity info`
+; must report FLOW003 for both copies.
+source_filename = "redundant_copy.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @copy_chain(i32 %x) {
+entry:
+  %alias = bitcast i32 %x to i32
+  %stable = freeze i32 %alias
+  %out = add nsw i32 %stable, 7
+  ret i32 %out
+}

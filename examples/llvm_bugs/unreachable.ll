@@ -1,0 +1,15 @@
+; Seeded bug: %island has no predecessors — nothing the checker
+; certifies (liveness, dominance, chordality) sees it at all.
+; `repro check` must report FLOW001 here.
+source_filename = "unreachable.c"
+target triple = "x86_64-unknown-linux-gnu"
+
+define i32 @orphan_block(i32 %x) {
+entry:
+  %r = add nsw i32 %x, 1
+  ret i32 %r
+
+island:
+  %y = mul nsw i32 %x, 3
+  ret i32 %y
+}

@@ -85,6 +85,7 @@ def load_all_passes() -> None:
     from . import (  # noqa: F401  (imported for registration side effects)
         certificates,
         coalescing_check,
+        flow_check,
         liveness_check,
         ssa_check,
     )

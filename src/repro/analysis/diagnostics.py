@@ -35,6 +35,7 @@ __all__ = [
     "max_severity",
     "filter_diagnostics",
     "format_diagnostic",
+    "sort_diagnostics",
 ]
 
 #: Valid severities, most severe first.
@@ -76,6 +77,12 @@ class Diagnostic:
     obj: str = ""
     passname: str = ""
     detail: Mapping[str, Any] = field(default_factory=dict)
+    #: Source provenance: the file the checked object came from and the
+    #: 1-based line of the finding (0 = no line known).  Filled by
+    #: :mod:`repro.analysis.provenance` for ``.ll``/``.ir`` input; the
+    #: SARIF exporter turns the pair into a physical location.
+    file: str = ""
+    line: int = 0
 
     def __post_init__(self) -> None:
         severity_rank(self.severity)  # validate eagerly
@@ -95,7 +102,19 @@ class Diagnostic:
             out["pass"] = self.passname
         if self.detail:
             out["detail"] = dict(self.detail)
+        if self.file:
+            out["file"] = self.file
+        if self.line:
+            out["line"] = self.line
         return out
+
+    def sort_key(self) -> Tuple[str, str, str, int, str, int, str]:
+        """The canonical emission order: code, then location, then
+        message (severity breaks the remaining ties)."""
+        return (
+            self.code, self.obj, self.file, self.line, self.where,
+            severity_rank(self.severity), self.message,
+        )
 
 
 def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[str]:
@@ -116,7 +135,11 @@ def filter_diagnostics(
 
 
 def format_diagnostic(diag: Diagnostic) -> str:
-    """One-line human rendering: ``severity CODE [obj at where]: message``."""
+    """One-line human rendering: ``severity CODE [obj at where]: message``.
+
+    With source provenance attached, the line is prefixed with the
+    compiler-conventional ``file:line:`` anchor.
+    """
     location = ""
     if diag.obj and diag.where:
         location = f" [{diag.obj} at {diag.where}]"
@@ -124,4 +147,17 @@ def format_diagnostic(diag: Diagnostic) -> str:
         location = f" [{diag.obj}]"
     elif diag.where:
         location = f" [{diag.where}]"
-    return f"{diag.severity} {diag.code}{location}: {diag.message}"
+    anchor = ""
+    if diag.file:
+        anchor = f"{diag.file}:{diag.line}: " if diag.line else f"{diag.file}: "
+    return f"{anchor}{diag.severity} {diag.code}{location}: {diag.message}"
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The deterministic emission order every checker reports in.
+
+    Stable sort by code, then location (object, file, line, ``where``),
+    then severity and message — independent of pass registration order,
+    set iteration order, and ``PYTHONHASHSEED``.
+    """
+    return sorted(diagnostics, key=Diagnostic.sort_key)

@@ -1,0 +1,76 @@
+"""Source provenance: mapping diagnostics back to ``file:line``.
+
+The IR substrate records where it came from — ``Function.source_file``
+/ ``source_line``, per-block label lines, per-instruction and per-φ
+lines — filled by the LLVM frontend (:mod:`repro.frontend.lower`) and
+the textual IR parser (:mod:`repro.ir.parser`).  This module resolves
+a diagnostic's logical ``where`` string (a block name, a
+``block:index`` program point, or empty for a function-level finding)
+against that record and stamps the :class:`~repro.analysis.
+diagnostics.Diagnostic` with the physical location, so console output
+gains compiler-style ``file:line:`` prefixes and the SARIF exporter
+(:mod:`repro.analysis.sarif`) gets real regions.
+
+Functions built in memory have no ``source_file``; their diagnostics
+pass through untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List
+
+from ..ir.cfg import Function
+from .diagnostics import Diagnostic
+
+__all__ = ["resolve_line", "attach_provenance"]
+
+
+def resolve_line(func: Function, where: str) -> int:
+    """The best 1-based source line for a logical location (0 = none).
+
+    ``where`` may be empty (→ the function's define line), a block
+    name (→ the block's label line, falling back to its first located
+    instruction), or ``block:index`` (→ that instruction's line).
+    Anything else — an edge, a vertex name — anchors at the function.
+    """
+    if where:
+        block_name, _, index = where.partition(":")
+        block = func.blocks.get(block_name)
+        if block is not None:
+            if index.isdigit():
+                i = int(index)
+                if i < len(block.instrs) and block.instrs[i].line:
+                    return block.instrs[i].line
+            if block.line:
+                return block.line
+            for phi in block.phis:
+                if phi.line:
+                    return phi.line
+            for instr in block.instrs:
+                if instr.line:
+                    return instr.line
+    return func.source_line
+
+
+def attach_provenance(
+    diagnostics: Iterable[Diagnostic], func: Function
+) -> List[Diagnostic]:
+    """Stamp ``file``/``line`` onto diagnostics of one function.
+
+    A no-op (same records back) when the function has no source file,
+    or for diagnostics that already carry provenance.
+    """
+    if not func.source_file:
+        return list(diagnostics)
+    out: List[Diagnostic] = []
+    for diag in diagnostics:
+        if diag.file:
+            out.append(diag)
+        else:
+            out.append(replace(
+                diag,
+                file=func.source_file,
+                line=resolve_line(func, diag.where),
+            ))
+    return out

@@ -11,6 +11,8 @@ kind      subject passed to the pass
 ========  =======================================================
 function  :class:`repro.ir.cfg.Function` (structure + strictness)
 ssa       :class:`repro.ir.cfg.Function` in (claimed) strict SSA
+dataflow  :class:`repro.ir.cfg.Function`, program diagnostics built
+          on the :mod:`repro.analysis.dataflow` framework
 graph     ``(Function, InterferenceGraph)`` pair to cross-check
 certificate  :class:`repro.analysis.certificates.Certificate` witness
 coalescing  :class:`repro.analysis.coalescing_check.CoalescingClaim`
@@ -30,7 +32,7 @@ register count ``k``, the optional :class:`~repro.budget.Budget`, the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..budget import Budget
@@ -49,7 +51,8 @@ __all__ = [
 
 #: The subject kinds a pass may declare.
 PASS_KINDS: Tuple[str, ...] = (
-    "function", "ssa", "graph", "certificate", "coalescing", "allocation",
+    "function", "ssa", "dataflow", "graph", "certificate", "coalescing",
+    "allocation",
 )
 
 PassFn = Callable[[Any, "AnalysisContext"], Iterable[Diagnostic]]
@@ -87,14 +90,8 @@ class AnalysisPass:
         out: List[Diagnostic] = []
         for diag in self.fn(subject, ctx):
             if diag.passname != self.name:
-                diag = Diagnostic(
-                    code=diag.code,
-                    severity=diag.severity,
-                    message=diag.message,
-                    where=diag.where,
-                    obj=diag.obj or ctx.obj,
-                    passname=self.name,
-                    detail=diag.detail,
+                diag = replace(
+                    diag, obj=diag.obj or ctx.obj, passname=self.name
                 )
             out.append(diag)
         return out

@@ -28,9 +28,11 @@ from typing import Any, List, Mapping, Optional
 from ..budget import Budget, BudgetExceeded
 from ..obs import NULL_TRACER, Tracer
 from . import certificates as _certificates  # noqa: F401  (registers passes)
+from . import flow_check as _flow_check  # noqa: F401
 from . import liveness_check as _liveness_check  # noqa: F401
 from .coalescing_check import claim_from_result
-from .diagnostics import Diagnostic
+from .diagnostics import Diagnostic, sort_diagnostics
+from .provenance import attach_provenance
 from .registry import AnalysisContext, passes_for
 from .ssa_check import looks_like_ssa
 
@@ -73,6 +75,11 @@ def _has_errors(diagnostics: List[Diagnostic]) -> bool:
     return any(d.severity == "error" for d in diagnostics)
 
 
+def _finalize(diagnostics: List[Diagnostic], func: Any) -> List[Diagnostic]:
+    """Stamp provenance and impose the canonical emission order."""
+    return sort_diagnostics(attach_provenance(diagnostics, func))
+
+
 def check_function(
     func: Any,
     k: int = 0,
@@ -96,12 +103,14 @@ def check_function(
     ctx = AnalysisContext(k=k, budget=budget, tracer=tracer, obj=func.name)
     out = run_passes(func, "function", ctx)
     if _has_errors(out):
-        return out  # dominance/liveness need a well-formed, strict CFG
+        # dominance/liveness need a well-formed, strict CFG
+        return _finalize(out, func)
+    out.extend(run_passes(func, "dataflow", ctx))
     check_ssa = looks_like_ssa(func) if expect_ssa == "auto" else bool(expect_ssa)
     if check_ssa:
         out.extend(run_passes(func, "ssa", ctx))
     if any(d.code == "BUDGET001" for d in out):
-        return out
+        return _finalize(out, func)
     if graph is None:
         from ..ir.interference import chaitin_interference
 
@@ -110,7 +119,7 @@ def check_function(
         expect_chordal = check_ssa and not _has_errors(out)
     ctx.expect_chordal = expect_chordal
     out.extend(run_passes((func, graph), "graph", ctx))
-    return out
+    return _finalize(out, func)
 
 
 def check_instance(
@@ -178,7 +187,7 @@ def check_instance(
                 detail={"reason": exc.reason, "steps": exc.steps},
             ))
         tracer.count("analysis.diagnostics", len(out))
-    return out
+    return sort_diagnostics(out)
 
 
 def check_coalescing_result(
@@ -196,7 +205,7 @@ def check_coalescing_result(
         k=k, budget=budget, tracer=tracer,
         obj=getattr(result, "strategy", "") or "coalescing",
     )
-    return run_passes(claim, "coalescing", ctx)
+    return sort_diagnostics(run_passes(claim, "coalescing", ctx))
 
 
 def check_allocation(
@@ -209,4 +218,4 @@ def check_allocation(
         k=result.k, budget=budget, tracer=tracer,
         obj=result.function.name,
     )
-    return run_passes(result, "allocation", ctx)
+    return sort_diagnostics(run_passes(result, "allocation", ctx))

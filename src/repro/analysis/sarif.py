@@ -1,0 +1,254 @@
+"""SARIF 2.1.0 export and baseline suppression for ``repro check``.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard interchange format that code-scanning UIs (GitHub code
+scanning, VS Code SARIF viewer, …) consume.  This module converts
+:class:`~repro.analysis.diagnostics.Diagnostic` records into one
+SARIF *run*:
+
+* each distinct diagnostic code becomes a ``rule`` (driver metadata
+  is harvested from the pass registry, so rule help text stays in one
+  place — the pass docstrings);
+* each diagnostic becomes a ``result`` with a physical location when
+  source provenance is attached (``file:line`` from
+  :mod:`repro.analysis.provenance`) and a logical location always
+  (the checked object and the ``where`` string);
+* each result carries a **partial fingerprint** — a stable hash of
+  ``(file, code, obj, where)`` that survives reordering, message
+  rewording, and unrelated edits.
+
+Fingerprints power the **baseline** workflow: ``repro check
+--write-baseline base.json`` records the current findings'
+fingerprints; a later ``repro check --baseline base.json`` suppresses
+exactly those and gates (exit status, console output) on *new*
+findings only.  The baseline file is deliberately minimal JSON::
+
+    {"version": 1, "suppress": [
+        {"fingerprint": "…", "code": "FLOW002", "note": "…"}, …
+    ]}
+
+Entries are matched by fingerprint alone; ``code`` and ``note`` are
+human context for reviewing the baseline in a diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA",
+    "fingerprint",
+    "to_sarif",
+    "dumps_sarif",
+    "write_sarif",
+    "make_baseline",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Diagnostic severity → SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+_FINGERPRINT_KEY = "repro/v1"
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding across runs.
+
+    Hashes the location identity (file, code, object, ``where``) and
+    *not* the message or line, so rewording a message or shifting
+    unrelated lines does not churn baselines.  16 hex digits keep
+    collision odds negligible at corpus scale while staying greppable.
+    """
+    key = f"{diag.file}|{diag.code}|{diag.obj}|{diag.where}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def _rule_metadata(code: str) -> Dict[str, Any]:
+    """SARIF rule descriptor for one diagnostic code.
+
+    Pulls the owning pass's name and docstring summary out of the
+    registry (after :func:`repro.analysis.load_all_passes`); codes
+    emitted outside any registered pass (``BUDGET001``, ``INST00x``)
+    get a generic descriptor.
+    """
+    from .registry import all_passes
+
+    for p in all_passes():
+        if code in p.codes:
+            return {
+                "id": code,
+                "name": p.name,
+                "shortDescription": {"text": p.doc or p.name},
+                "properties": {"pass": p.name, "kind": p.kind},
+            }
+    return {"id": code, "shortDescription": {"text": code}}
+
+
+def _result(
+    diag: Diagnostic, suppressed: Set[str] = frozenset()
+) -> Dict[str, Any]:
+    location: Dict[str, Any] = {}
+    if diag.file:
+        region: Dict[str, Any] = {}
+        if diag.line:
+            region["startLine"] = diag.line
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": diag.file},
+        }
+        if region:
+            physical["region"] = region
+        location["physicalLocation"] = physical
+    logical: Dict[str, Any] = {}
+    if diag.obj:
+        logical["name"] = diag.obj
+    if diag.where:
+        logical["fullyQualifiedName"] = (
+            f"{diag.obj}:{diag.where}" if diag.obj else diag.where
+        )
+    if logical:
+        location["logicalLocations"] = [logical]
+    fp = fingerprint(diag)
+    result: Dict[str, Any] = {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "partialFingerprints": {_FINGERPRINT_KEY: fp},
+    }
+    if location:
+        result["locations"] = [location]
+    if fp in suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    properties: Dict[str, Any] = {}
+    if diag.passname:
+        properties["pass"] = diag.passname
+    if diag.detail:
+        properties["detail"] = dict(diag.detail)
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    suppressed: Set[str] = frozenset(),
+) -> Dict[str, Any]:
+    """One SARIF 2.1.0 log with a single run over ``diagnostics``.
+
+    The input order is preserved (callers pass the canonical
+    :func:`~repro.analysis.diagnostics.sort_diagnostics` order), so
+    the export is byte-stable for a fixed set of findings.  Results
+    whose fingerprint is in ``suppressed`` (a loaded baseline) stay in
+    the log but carry an external ``suppressions`` marker, the SARIF
+    way of saying "known, deliberately not gating".
+    """
+    from .. import __version__
+
+    codes = sorted({d.code for d in diagnostics})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-check",
+                    "version": __version__,
+                    "informationUri":
+                        "https://example.invalid/repro/docs/ANALYSIS.md",
+                    "rules": [_rule_metadata(code) for code in codes],
+                }
+            },
+            "results": [_result(d, suppressed) for d in diagnostics],
+        }],
+    }
+
+
+def dumps_sarif(
+    diagnostics: Sequence[Diagnostic],
+    suppressed: Set[str] = frozenset(),
+) -> str:
+    """Serialize to the canonical textual form (sorted keys, indent 2)."""
+    doc = to_sarif(diagnostics, suppressed)
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_sarif(
+    path: str,
+    diagnostics: Sequence[Diagnostic],
+    suppressed: Set[str] = frozenset(),
+) -> None:
+    """Write the SARIF log for ``diagnostics`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_sarif(diagnostics, suppressed))
+
+
+def make_baseline(diagnostics: Sequence[Diagnostic]) -> Dict[str, Any]:
+    """A baseline document suppressing exactly ``diagnostics``."""
+    entries = []
+    seen: Set[str] = set()
+    for diag in diagnostics:
+        fp = fingerprint(diag)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append({
+            "fingerprint": fp,
+            "code": diag.code,
+            "note": f"{diag.obj} at {diag.where}" if diag.where else diag.obj,
+        })
+    entries.sort(key=lambda e: (e["code"], e["fingerprint"]))
+    return {"version": 1, "suppress": entries}
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The suppressed fingerprints of a baseline file.
+
+    Raises ``ValueError`` on a malformed document so a stale or
+    hand-mangled baseline fails loudly instead of silently gating
+    nothing.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("version") != 1:
+        raise ValueError(f"{path}: not a version-1 baseline document")
+    entries = doc.get("suppress")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline 'suppress' must be a list")
+    out: Set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(
+                f"{path}: baseline entries need a 'fingerprint' field"
+            )
+        out.add(str(entry["fingerprint"]))
+    return out
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> None:
+    """Write a baseline suppressing exactly ``diagnostics``."""
+    doc = make_baseline(diagnostics)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    diagnostics: Iterable[Diagnostic], suppressed: Set[str]
+) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Split findings into ``(shown, suppressed)`` by fingerprint."""
+    shown: List[Diagnostic] = []
+    hidden: List[Diagnostic] = []
+    for diag in diagnostics:
+        (hidden if fingerprint(diag) in suppressed else shown).append(diag)
+    return shown, hidden

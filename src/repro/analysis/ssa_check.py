@@ -26,9 +26,9 @@ from __future__ import annotations
 from typing import Dict, Iterator, Tuple
 
 from ..ir.cfg import Function
-from ..ir.dominance import DominatorTree
 from ..ir.instructions import Var
 from ..ir.liveness import check_strict
+from .dataflow import dominator_masks
 from .diagnostics import Diagnostic
 from .registry import AnalysisContext, analysis_pass
 
@@ -130,8 +130,19 @@ def looks_like_ssa(func: Function) -> bool:
 def check_ssa_invariants(
     func: Function, ctx: AnalysisContext
 ) -> Iterator[Diagnostic]:
-    """Strict SSA: single defs, dominance of uses, defined φ-args."""
-    tree = DominatorTree(func)
+    """Strict SSA: single defs, dominance of uses, defined φ-args.
+
+    Dominance queries run on the dense dominator bitsets of the
+    generic dataflow framework (:func:`repro.analysis.dataflow.
+    dominator_masks`) — one AND per query instead of a walk up an
+    explicit dominator tree.
+    """
+    blocks, dom_masks = dominator_masks(func, tracer=ctx.tracer)
+    block_bit = {b: 1 << i for i, b in enumerate(blocks)}
+
+    def dominates(a: str, b: str) -> bool:
+        return bool(dom_masks[b] & block_bit[a])
+
     reachable = func.reachable()
 
     def_site: Dict[Var, Tuple[str, int]] = {}
@@ -165,7 +176,7 @@ def check_ssa_invariants(
     def dominates_point(v: Var, use_block: str, use_index: int) -> bool:
         db, di = def_site[v]
         if db != use_block:
-            return tree.dominates(db, use_block)
+            return dominates(db, use_block)
         return di < use_index
 
     for name in reachable:

@@ -38,10 +38,12 @@ Commands
     the per-task verdicts land in the summary artifact.  See
     ``docs/ENGINE.md``.
 
-``check FILE... [--json] [--severity LEVEL] [--k K]``
+``check FILE... [--json] [--severity LEVEL] [--k K] [--sarif OUT]``
     Run the :mod:`repro.analysis` static checker over challenge files,
     IR files, ``.ll`` files, or DIMACS graphs (auto-detected per
-    file).  See ``docs/ANALYSIS.md`` for the pass catalog and
+    file).  ``--sarif`` exports a SARIF 2.1.0 log with ``file:line``
+    locations; ``--baseline``/``--write-baseline`` gate on new
+    findings only.  See ``docs/ANALYSIS.md`` for the pass catalog and
     diagnostic codes.
 
 ``bench {snapshot,compare} [BASELINE] [--repeats N] [--tolerance T]``
@@ -149,6 +151,8 @@ def _load_ir_functions(path: str):
         raise _syntax_error(path, exc) from exc
     if not functions:
         raise _InputError(f"{path}: no functions found (empty file?)")
+    for func in functions:
+        func.source_file = path  # parse_functions records the lines
     return functions
 
 
@@ -551,14 +555,40 @@ def _sniff_format(path: str) -> str:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Run the static analysis passes over files (repro.analysis)."""
+    """Run the static analysis passes over files (repro.analysis).
+
+    Gating (console output and the exit status) happens at the
+    ``--severity`` threshold, minus anything a ``--baseline`` file
+    suppresses by fingerprint.  ``--sarif`` exports *every* produced
+    diagnostic — all severities, baselined results marked suppressed —
+    so viewers can filter themselves; ``--write-baseline`` records the
+    currently-gating findings and exits 0 (pair it with a later
+    ``--baseline`` run to gate on new findings only).
+    """
     from .analysis import filter_diagnostics, format_diagnostic
     from .analysis.runner import check_function, check_instance
+    from .analysis.sarif import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+        write_sarif,
+    )
     from .budget import Budget
+
+    suppress = set()
+    if args.baseline:
+        try:
+            suppress = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     status = 0
     file_reports = []
     total_shown = 0
+    total_suppressed = 0
+    all_diagnostics = []
+    all_shown = []
     for path in args.files:
         budget = (Budget(max_steps=args.max_steps)
                   if args.max_steps else None)
@@ -580,27 +610,44 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             status = 2
             continue
+        all_diagnostics.extend(diagnostics)
         shown = filter_diagnostics(diagnostics, args.severity)
+        shown, hidden = apply_baseline(shown, suppress)
+        all_shown.extend(shown)
         total_shown += len(shown)
-        file_reports.append({
+        total_suppressed += len(hidden)
+        report = {
             "path": path,
             "objects": objects,
             "diagnostics": [d.as_dict() for d in shown],
-        })
+        }
+        if hidden:
+            report["suppressed"] = len(hidden)
+        file_reports.append(report)
         if shown and status == 0:
             status = 1
         if not args.json:
             verdict = "ok" if not shown else f"{len(shown)} finding(s)"
+            if hidden:
+                verdict += f" ({len(hidden)} baselined)"
             print(f"{path}: {objects} object(s), {verdict}")
             for diag in shown:
                 print(f"  {format_diagnostic(diag)}")
     if args.json:
-        json.dump(
-            {"files": file_reports, "total_diagnostics": total_shown,
-             "severity": args.severity},
-            sys.stdout, indent=2, sort_keys=True,
-        )
+        report = {"files": file_reports, "total_diagnostics": total_shown,
+                  "severity": args.severity}
+        if total_suppressed:
+            report["suppressed"] = total_suppressed
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
+    if args.sarif:
+        write_sarif(args.sarif, all_diagnostics, suppress)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, all_shown)
+        if not args.json:
+            print(f"baseline: {len(all_shown)} finding(s) recorded to "
+                  f"{args.write_baseline}")
+        return 0 if status != 2 else 2
     return status
 
 
@@ -910,6 +957,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cooperative analysis budget (0 = unlimited)")
     p.add_argument("--json", action="store_true",
                    help="emit diagnostics as JSON")
+    p.add_argument("--sarif", metavar="PATH",
+                   help="export every diagnostic (all severities) as a "
+                   "SARIF 2.1.0 log with file:line locations")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="suppress findings recorded in this baseline "
+                   "file; gate on new findings only")
+    p.add_argument("--write-baseline", metavar="PATH",
+                   help="record the currently-gating findings as a "
+                   "baseline and exit 0")
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(

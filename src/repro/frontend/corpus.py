@@ -46,9 +46,15 @@ __all__ = [
 
 
 def parse_path(path: "str | os.PathLike") -> LLModule:
-    """Read and parse one ``.ll`` file into its module AST."""
+    """Read and parse one ``.ll`` file into its module AST.
+
+    Stamps the module's ``source`` with the path so lowered functions
+    carry file provenance into diagnostics and SARIF locations.
+    """
     with open(path) as stream:
-        return parse_module(stream.read())
+        module = parse_module(stream.read())
+    module.source = str(path)
+    return module
 
 
 def load_functions(text: str) -> List[Function]:
@@ -112,7 +118,7 @@ def instance_from_path(
     if not module.functions:
         raise ValueError(f"{path}: no functions found")
     source = module.function(function) if function else module.functions[0]
-    func = lower_module(LLModule([source]))[0]
+    func = lower_module(LLModule([source], source=module.source))[0]
     return function_instance(
         func, k=k, name=f"{Path(path).stem}:{func.name}"
     )

@@ -71,18 +71,19 @@ def _local_uses(operands: Sequence[Operand]) -> Tuple[str, ...]:
 def _lower_instruction(instr: LLInstruction) -> Optional[Instr]:
     """One AST instruction → one IR instruction (or none)."""
     uses = _local_uses(instr.operands)
+    line = instr.line
     if instr.opcode in COPY_OPS and instr.dest is not None and len(uses) == 1:
-        return Instr("mov", (instr.dest,), uses)
+        return Instr("mov", (instr.dest,), uses, line=line)
     if instr.opcode == "br":
-        return Instr("br", (), uses) if uses else None
+        return Instr("br", (), uses, line=line) if uses else None
     if instr.opcode == "switch":
-        return Instr("switch", (), uses) if uses else None
+        return Instr("switch", (), uses, line=line) if uses else None
     if instr.opcode == "ret":
-        return Instr("ret", (), uses)
+        return Instr("ret", (), uses, line=line)
     if instr.opcode == "unreachable":
-        return Instr("unreachable")
+        return Instr("unreachable", line=line)
     defs = (instr.dest,) if instr.dest is not None else ()
-    return Instr(instr.opcode, defs, uses)
+    return Instr(instr.opcode, defs, uses, line=line)
 
 
 class _FunctionLowering:
@@ -109,6 +110,7 @@ class _FunctionLowering:
                 return name
 
     def check_target(self, label: str, instr: LLInstruction) -> None:
+        """Fail with a located error on a branch to an unknown label."""
         if label not in self.labels:
             raise LoweringError(
                 instr.line,
@@ -116,6 +118,7 @@ class _FunctionLowering:
             )
 
     def check_uses(self, uses: Sequence[str], line: int) -> None:
+        """Fail with a located error on a use of an undefined value."""
         for use in uses:
             if use not in self.defined:
                 raise LoweringError(
@@ -134,12 +137,14 @@ def lower_function(source: LLFunction) -> Function:
     state = _FunctionLowering(source)
     entry = source.blocks[0].label
     func = Function(source.name, entry)
+    func.source_line = source.line
     for block in source.blocks:
-        func.add_block(block.label)
+        func.add_block(block.label).line = block.line
 
-    # parameters define their registers at the top of the entry block
+    # parameters define their registers at the top of the entry block;
+    # their provenance is the define line itself
     func.blocks[entry].instrs = [
-        Instr("param", (p,), ()) for p in source.params
+        Instr("param", (p,), (), line=source.line) for p in source.params
     ]
 
     # instructions and edges (edge insertion order = branch order)
@@ -171,7 +176,9 @@ def lower_function(source: LLFunction) -> Function:
                     state.check_uses((value.text,), phi.line)
                     incoming = value.text
                 else:
-                    incoming = _materialize_const(func, state, pred)
+                    incoming = _materialize_const(
+                        func, state, pred, line=phi.line
+                    )
                 if pred in args and args[pred] != incoming:
                     raise LoweringError(
                         phi.line,
@@ -186,27 +193,37 @@ def lower_function(source: LLFunction) -> Function:
                     f"{sorted(args)} but block %{block.label} has "
                     f"predecessors {sorted(preds)}",
                 )
-            func.blocks[block.label].phis.append(Phi(phi.dest, args))
+            func.blocks[block.label].phis.append(
+                Phi(phi.dest, args, line=phi.line)
+            )
 
     func.validate()
     return func
 
 
 def _materialize_const(
-    func: Function, state: _FunctionLowering, pred: str
+    func: Function, state: _FunctionLowering, pred: str, line: int = 0
 ) -> str:
-    """Define a fresh ``const`` register at the end of ``pred``."""
+    """Define a fresh ``const`` register at the end of ``pred``.
+
+    ``line`` anchors the synthetic instruction to the φ that demanded
+    the constant — the closest thing it has to a source location.
+    """
     name = state.fresh_const()
     instrs = func.blocks[pred].instrs
     at = len(instrs)
     if instrs and instrs[-1].op in _TERMINATOR_OPS:
         at -= 1
-    instrs.insert(at, Instr("const", (name,), ()))
+    instrs.insert(at, Instr("const", (name,), (), line=line))
     return name
 
 
 def lower_module(module: LLModule) -> List[Function]:
-    """Lower every function of a module, rejecting duplicate names."""
+    """Lower every function of a module, rejecting duplicate names.
+
+    Each lowered function inherits the module's ``source`` path as its
+    diagnostic provenance (``Function.source_file``).
+    """
     seen: Set[str] = set()
     out: List[Function] = []
     for source in module.functions:
@@ -215,5 +232,7 @@ def lower_module(module: LLModule) -> List[Function]:
                 source.line, f"duplicate function @{source.name}"
             )
         seen.add(source.name)
-        out.append(lower_function(source))
+        func = lower_function(source)
+        func.source_file = module.source
+        out.append(func)
     return out

@@ -176,9 +176,15 @@ class LLFunction:
 
 @dataclass
 class LLModule:
-    """A parsed module: the ``define``\\ d functions, in source order."""
+    """A parsed module: the ``define``\\ d functions, in source order.
+
+    ``source`` is the path the module was read from (empty for text
+    parsed in memory); lowering copies it onto every
+    :class:`repro.ir.cfg.Function` as diagnostic provenance.
+    """
 
     functions: List[LLFunction] = field(default_factory=list)
+    source: str = ""
 
     def function(self, name: str) -> LLFunction:
         """Look up a function by name (without the ``@`` sigil)."""
@@ -199,10 +205,12 @@ class _Parser:
     # stream primitives
     # ------------------------------------------------------------------
     def peek(self, offset: int = 0) -> Optional[Token]:
+        """The token ``offset`` ahead, or None past the end."""
         i = self.pos + offset
         return self.tokens[i] if i < len(self.tokens) else None
 
     def next(self, what: str = "more input") -> Token:
+        """Consume and return the next token (error at end of input)."""
         token = self.peek()
         if token is None:
             line = self.tokens[-1].line if self.tokens else 0
@@ -211,18 +219,21 @@ class _Parser:
         return token
 
     def error(self, message: str, token: Optional[Token] = None) -> FrontendSyntaxError:
+        """A syntax error located at ``token`` (default: the cursor)."""
         if token is None:
             token = self.peek() or (self.tokens[-1] if self.tokens else None)
         line = token.line if token else 0
         return FrontendSyntaxError(line, message)
 
     def expect_punct(self, text: str) -> Token:
+        """Consume exactly the punctuation ``text`` or fail."""
         token = self.next(f"{text!r}")
         if not token.is_punct(text):
             raise self.error(f"expected {text!r}, found {token}", token)
         return token
 
     def expect_word(self, *texts: str) -> Token:
+        """Consume a word token (one of ``texts`` if given) or fail."""
         token = self.next(" or ".join(repr(t) for t in texts) or "a word")
         if token.kind != "word" or (texts and token.text not in texts):
             wanted = " or ".join(repr(t) for t in texts) or "a word"
@@ -230,6 +241,7 @@ class _Parser:
         return token
 
     def accept_punct(self, text: str) -> bool:
+        """Consume the punctuation ``text`` if present; report success."""
         token = self.peek()
         if token is not None and token.is_punct(text):
             self.pos += 1
@@ -237,6 +249,7 @@ class _Parser:
         return False
 
     def accept_words(self, words: frozenset) -> List[str]:
+        """Consume a run of words drawn from ``words`` (maybe empty)."""
         out: List[str] = []
         while True:
             token = self.peek()
@@ -353,6 +366,7 @@ class _Parser:
     # module level
     # ------------------------------------------------------------------
     def parse_module(self) -> LLModule:
+        """Parse a whole module: functions plus skippable top-levels."""
         module = LLModule()
         while (token := self.peek()) is not None:
             if token.is_word("define"):
@@ -377,6 +391,7 @@ class _Parser:
     # functions
     # ------------------------------------------------------------------
     def parse_function(self) -> LLFunction:
+        """Parse one ``define … { … }`` into an :class:`LLFunction`."""
         define = self.expect_word("define")
         # linkage/visibility/cconv words and the return type all sit
         # between 'define' and the '@name'; none of them matter here.

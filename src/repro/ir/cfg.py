@@ -21,6 +21,8 @@ class BasicBlock:
     name: str
     phis: List[Phi] = field(default_factory=list)
     instrs: List[Instr] = field(default_factory=list)
+    #: 1-based source line of the block label (provenance); 0 = unknown.
+    line: int = field(default=0, compare=False)
 
     def defs(self) -> Set[Var]:
         """All variables defined in the block (φ targets included)."""
@@ -53,6 +55,11 @@ class Function:
         self.add_block(entry)
         # optional per-block static frequency (loop-depth based weights)
         self.frequency: Dict[str, float] = {}
+        # source provenance: the defining file and 1-based line, set by
+        # the frontends (``.ll`` lowering, the textual IR parser) so
+        # diagnostics can carry real file:line anchors
+        self.source_file: str = ""
+        self.source_line: int = 0
 
     # ------------------------------------------------------------------
     # construction

@@ -33,6 +33,10 @@ class Instr:
     op: str
     defs: Tuple[Var, ...] = ()
     uses: Tuple[Var, ...] = ()
+    #: 1-based source line (``.ll``/``.ir`` provenance); 0 = unknown.
+    #: Not part of equality — two instructions are the same operation
+    #: wherever they were written.
+    line: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         self.defs = tuple(self.defs)
@@ -51,6 +55,7 @@ class Instr:
             self.op,
             tuple(mapping.get(v, v) for v in self.defs),
             tuple(mapping.get(v, v) for v in self.uses),
+            line=self.line,
         )
 
     def __str__(self) -> str:
@@ -79,6 +84,8 @@ class Phi:
 
     target: Var
     args: Dict[str, Var] = field(default_factory=dict)
+    #: 1-based source line (``.ll``/``.ir`` provenance); 0 = unknown.
+    line: int = field(default=0, compare=False)
 
     def incoming(self, pred: str) -> Var:
         """The variable flowing in from predecessor ``pred``."""
@@ -89,6 +96,7 @@ class Phi:
         return Phi(
             mapping.get(self.target, self.target),
             {b: mapping.get(v, v) for b, v in self.args.items()},
+            line=self.line,
         )
 
     def __str__(self) -> str:

@@ -22,11 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Set, Tuple
 
-from ..obs import EDGES_SCANNED, NULL_TRACER, WORDS_MERGED, Tracer
+from ..obs import EDGES_SCANNED, NULL_TRACER, Tracer
 from .cfg import Function
 from .instructions import Var
-
-_WORD_BITS = 64
 
 
 @dataclass
@@ -37,81 +35,45 @@ class LivenessInfo:
     live_out: Dict[str, Set[Var]] = field(default_factory=dict)
 
 
+def liveness_problem(func: Function) -> "object":
+    """The liveness instance of the generic dataflow framework.
+
+    Thin re-export of :func:`repro.analysis.dataflow.liveness_problem`
+    (imported lazily — the analysis package imports this module's CFG
+    substrate).  Exposed here so IR-level consumers need not know the
+    framework's home.
+    """
+    from ..analysis.dataflow import liveness_problem as _problem
+
+    return _problem(func)
+
+
 def liveness_masks(
     func: Function, tracer: Tracer = NULL_TRACER
 ) -> Tuple[List[Var], Dict[str, int], Dict[str, int]]:
     """Mask-based backward liveness: the dense transfer kernel.
 
     Interns the function's variables (sorted order, so the mapping is
-    reproducible) and runs the fixed point of :func:`compute_liveness`
-    with each live set held as one ``int`` bitmask — the per-block
-    transfer is a handful of word-wise OR/ANDNOT operations instead of
-    per-element set algebra.  Returns ``(variables, live_in, live_out)``
-    where the dicts map reachable block names to bitmasks over the
-    variable indices.  :func:`compute_liveness` materializes these masks
-    back to the classic per-block sets; the interference builder
+    reproducible) and runs the backward/may instance of the generic
+    monotone framework (:mod:`repro.analysis.dataflow`) with each live
+    set held as one ``int`` bitmask — the per-block transfer is a
+    handful of word-wise OR/ANDNOT operations instead of per-element
+    set algebra.  Returns ``(variables, live_in, live_out)`` where the
+    dicts map reachable block names to bitmasks over the variable
+    indices.  :func:`compute_liveness` materializes these masks back to
+    the classic per-block sets; the interference builder
     (:func:`repro.ir.interference.chaitin_interference`) consumes them
-    directly.
+    directly.  Results are bit-identical to the dict reference
+    (:func:`compute_liveness_dict`) — the fixpoint of a monotone
+    framework is unique — while the engine's worklist does strictly
+    less transfer work than the old round-robin sweep loop.
     """
-    counting = tracer.enabled
-    reachable = func.reachable()
-    variables = sorted(func.variables())
-    index = {v: i for i, v in enumerate(variables)}
-    words = max(1, (len(variables) + _WORD_BITS - 1) // _WORD_BITS)
+    from ..analysis.dataflow import liveness_problem as _problem
+    from ..analysis.dataflow import solve as _solve
 
-    use: Dict[str, int] = {}
-    defs: Dict[str, int] = {}
-    phi_uses_out: Dict[str, int] = {b: 0 for b in reachable}
-    phi_defs: Dict[str, int] = {b: 0 for b in reachable}
-
-    for name in reachable:
-        block = func.blocks[name]
-        upward = 0
-        defined = 0
-        for instr in block.instrs:
-            for v in instr.uses:
-                bv = 1 << index[v]
-                if not defined & bv:
-                    upward |= bv
-            for v in instr.defs:
-                defined |= 1 << index[v]
-        use[name] = upward
-        defs[name] = defined
-        for phi in block.phis:
-            phi_defs[name] |= 1 << index[phi.target]
-            for pred, v in phi.args.items():
-                if pred in reachable:
-                    phi_uses_out[pred] |= 1 << index[v]
-
-    live_in: Dict[str, int] = {b: 0 for b in reachable}
-    live_out: Dict[str, int] = {b: 0 for b in reachable}
-    # iterate in postorder (against the flow) until stable — the same
-    # evaluation order as the dict reference, hence the same number of
-    # rounds
-    order = func.postorder()
-    changed = True
-    while changed:
-        changed = False
-        for b in order:
-            out = phi_uses_out[b]
-            nsucc = 0
-            for s in func.successors(b):
-                if s not in reachable:
-                    continue
-                # live-in of successor minus its φ-targets, since those
-                # are defined at the join
-                out |= live_in[s]
-                nsucc += 1
-            # φ-targets are defined at the block top, so they are not
-            # live-in even when used by the block's own instructions.
-            new_in = (use[b] | (out & ~defs[b])) & ~phi_defs[b]
-            if counting:
-                tracer.count(WORDS_MERGED, (nsucc + 3) * words)
-            if out != live_out[b] or new_in != live_in[b]:
-                live_out[b] = out
-                live_in[b] = new_in
-                changed = True
-    return variables, live_in, live_out
+    problem = _problem(func)
+    result = _solve(func, problem, tracer=tracer)
+    return list(problem.domain), result.in_masks, result.out_masks
 
 
 def compute_liveness(func: Function, tracer: Tracer = NULL_TRACER) -> LivenessInfo:
@@ -267,35 +229,22 @@ def dead_code_vars(func: Function) -> Set[Var]:
 def check_strict(func: Function) -> List[str]:
     """Verify strictness: every use is reached by a def on all paths.
 
-    Forward dataflow of definitely-assigned variables.  Returns a list
-    of violation descriptions (empty when strict).
+    Forward/must dataflow of definitely-assigned variables, run as the
+    :func:`repro.analysis.dataflow.definite_assignment_problem`
+    instance of the generic framework.  Returns a list of violation
+    descriptions (empty when strict), in a deterministic reverse
+    postorder of the offending blocks.
     """
+    from ..analysis.dataflow import definite_assignment_problem, solve
+
     reachable = func.reachable()
-    assigned_in: Dict[str, Set[Var]] = {}
-    all_vars = func.variables()
-    for b in reachable:
-        assigned_in[b] = set() if b == func.entry else set(all_vars)
-    changed = True
-    while changed:
-        changed = False
-        for b in func.reverse_postorder():
-            if b == func.entry:
-                inset: Set[Var] = set()
-            else:
-                preds = [p for p in func.predecessors(b) if p in reachable]
-                if preds:
-                    inset = set(all_vars)
-                    for p in preds:
-                        out = assigned_in[p] | func.blocks[p].defs()
-                        inset &= out
-                else:
-                    inset = set()
-            if inset != assigned_in[b]:
-                assigned_in[b] = inset
-                changed = True
+    result = solve(func, definite_assignment_problem(func))
+    assigned_in: Dict[str, Set[Var]] = {
+        b: result.in_set(b) for b in result.in_masks
+    }
 
     problems: List[str] = []
-    for b in reachable:
+    for b in func.reverse_postorder():
         block = func.blocks[b]
         for phi in block.phis:
             for pred, v in phi.args.items():

@@ -47,11 +47,14 @@ def _split_names(text: str) -> Tuple[str, ...]:
     return tuple(p.strip() for p in text.split(",") if p.strip())
 
 
-def parse_function(text: str) -> Function:
+def parse_function(text: str, offset: int = 0) -> Function:
     """Parse one function from text.
 
     The first block encountered is the entry unless a ``func`` header
     names one.  ``freq BLOCK VALUE`` lines set static frequencies.
+    ``offset`` shifts the 1-based line numbers recorded as provenance
+    (and reported in errors) — :func:`parse_functions` passes each
+    chunk's position in the surrounding file.
     """
     func: Optional[Function] = None
     name = "f"
@@ -59,11 +62,15 @@ def parse_function(text: str) -> Function:
     current: Optional[str] = None
     pending_freq: List[Tuple[str, float]] = []
     labeled: set = set()
+    source_line = 0
 
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+    for lineno, raw in enumerate(text.splitlines(), start=1 + offset):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
+
+        if not source_line:
+            source_line = lineno
 
         header = _HEADER_RE.match(line)
         if header:
@@ -81,7 +88,7 @@ def parse_function(text: str) -> Function:
             label = block_match.group(1)
             if func is None:
                 func = Function(name, entry or label)
-            func.add_block(label)
+            func.add_block(label).line = lineno
             labeled.add(label)
             current = label
             continue
@@ -108,7 +115,7 @@ def parse_function(text: str) -> Function:
                         )
                     pred, var = part.split(":", 1)
                     args[pred.strip()] = var.strip()
-            func.blocks[current].phis.append(Phi(target, args))
+            func.blocks[current].phis.append(Phi(target, args, line=lineno))
             continue
 
         assign = _ASSIGN_RE.match(line)
@@ -117,7 +124,9 @@ def parse_function(text: str) -> Function:
             op = assign.group(2)
             uses = _split_names(assign.group(3) or "")
             try:
-                func.blocks[current].instrs.append(Instr(op, defs, uses))
+                func.blocks[current].instrs.append(
+                    Instr(op, defs, uses, line=lineno)
+                )
             except ValueError as exc:
                 raise IRSyntaxError(lineno, str(exc)) from exc
             continue
@@ -126,7 +135,7 @@ def parse_function(text: str) -> Function:
         parts = line.split(None, 1)
         op = parts[0]
         uses = _split_names(parts[1]) if len(parts) > 1 else ()
-        func.blocks[current].instrs.append(Instr(op, (), uses))
+        func.blocks[current].instrs.append(Instr(op, (), uses, line=lineno))
 
     if func is None:
         raise IRSyntaxError(0, "no blocks found")
@@ -134,6 +143,7 @@ def parse_function(text: str) -> Function:
         raise IRSyntaxError(0, f"entry block {entry!r} never defined")
     for block, value in pending_freq:
         func.frequency[block] = value
+    func.source_line = source_line
     func.validate()
     return func
 
@@ -162,14 +172,22 @@ def format_function(func: Function, header: bool = True) -> str:
 
 
 def parse_functions(stream: TextIO) -> List[Function]:
-    """Parse a stream of functions separated by ``func`` headers."""
-    chunks: List[List[str]] = []
-    for raw in stream:
+    """Parse a stream of functions separated by ``func`` headers.
+
+    Each function's recorded line numbers are absolute positions in
+    the stream (not chunk-relative), so multi-function files report
+    diagnostics at the right lines.
+    """
+    chunks: List[Tuple[int, List[str]]] = []
+    for lineno, raw in enumerate(stream, start=1):
         if _HEADER_RE.match(raw.split("#", 1)[0].strip()):
-            chunks.append([raw])
+            chunks.append((lineno, [raw]))
         elif chunks:
-            chunks[-1].append(raw)
+            chunks[-1][1].append(raw)
         elif raw.split("#", 1)[0].strip():
-            chunks.append([raw])
+            chunks.append((lineno, [raw]))
         # leading blank/comment lines before any header are dropped
-    return [parse_function("".join(chunk)) for chunk in chunks]
+    return [
+        parse_function("".join(chunk), offset=start - 1)
+        for start, chunk in chunks
+    ]

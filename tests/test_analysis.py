@@ -315,3 +315,146 @@ def test_pipeline_runs_clean_under_debug_checks(monkeypatch):
         assert result.verify() == []
     finally:
         _reset_cache()
+
+
+# ---------------------------------------------------------------------------
+# deterministic emission order
+# ---------------------------------------------------------------------------
+
+def test_sort_diagnostics_orders_by_code_then_location():
+    from repro.analysis.diagnostics import sort_diagnostics
+
+    diags = [
+        Diagnostic("LIVE004", "info", "z", obj="f", where="b"),
+        Diagnostic("FLOW002", "warning", "m", obj="f", where="entry:2"),
+        Diagnostic("FLOW002", "warning", "m", obj="f", where="entry:1"),
+        Diagnostic("FLOW002", "warning", "a", obj="e", where="entry:1"),
+    ]
+    ordered = sort_diagnostics(diags)
+    keys = [(d.code, d.obj, d.where) for d in ordered]
+    assert keys == [
+        ("FLOW002", "e", "entry:1"),
+        ("FLOW002", "f", "entry:1"),
+        ("FLOW002", "f", "entry:2"),
+        ("LIVE004", "f", "b"),
+    ]
+
+
+def test_check_function_emits_in_canonical_order():
+    from repro.analysis.diagnostics import sort_diagnostics
+
+    func = rotation_loop(3)
+    diagnostics = check_function(func)
+    assert diagnostics == sort_diagnostics(diagnostics)
+    # and the order is reproducible run to run
+    again = check_function(rotation_loop(3))
+    assert [d.sort_key() for d in again] == [
+        d.sort_key() for d in diagnostics
+    ]
+
+
+def test_check_output_independent_of_hash_seed(tmp_path):
+    """`repro check --json` must be byte-identical across interpreter
+    hash randomization — no set-iteration order may leak out."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    bug = (Path(__file__).resolve().parent.parent
+           / "examples" / "llvm_bugs" / "dead_store.ll")
+    outputs = set()
+    for seed in ("0", "42", "1337"):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "check", str(bug),
+             "--severity", "info", "--json"],
+            capture_output=True, text=True,
+            env={"PYTHONHASHSEED": seed,
+                 "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                                   / "src"),
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1, proc.stderr
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1
+
+
+# ---------------------------------------------------------------------------
+# dataflow-kind passes (FLOW codes)
+# ---------------------------------------------------------------------------
+
+def _flow_func():
+    from repro.ir.cfg import Function
+    from repro.ir.instructions import Instr
+
+    f = Function("flow", "entry")
+    f.add_block("entry")
+    f.blocks["entry"].instrs.append(Instr("const", ("a",), ()))
+    f.blocks["entry"].instrs.append(Instr("ret", (), ("a",)))
+    return f
+
+
+def test_flow001_unreachable_block():
+    from repro.ir.instructions import Instr
+
+    func = _flow_func()
+    func.add_block("island").instrs.append(Instr("ret", (), ()))
+    diagnostics = check_function(func)
+    (hit,) = [d for d in diagnostics if d.code == "FLOW001"]
+    assert hit.severity == "warning"
+    assert hit.where == "island"
+
+
+def test_flow002_dead_def_and_dead_phi():
+    from repro.ir.instructions import Instr, Phi
+
+    func = _flow_func()
+    func.blocks["entry"].instrs.insert(
+        1, Instr("mul", ("waste",), ("a", "a"))
+    )
+    diagnostics = check_function(func)
+    (hit,) = [d for d in diagnostics if d.code == "FLOW002"]
+    assert hit.where == "entry:1"
+    assert hit.detail["var"] == "waste"
+    # a φ-target nobody reads is dead too
+    loop = rotation_loop(2)
+    loop.blocks["head"].phis.append(
+        Phi("ghost", {b: next(iter(loop.blocks["head"].phis[0].args.values()))
+                      for b in loop.blocks["head"].phis[0].args})
+    )
+    codes = {d.code for d in check_function(loop, expect_ssa=False)}
+    assert "FLOW002" in codes
+
+
+def test_flow003_redundant_copy_is_info():
+    from repro.ir.instructions import Instr
+
+    func = _flow_func()
+    func.blocks["entry"].instrs.insert(1, Instr("mov", ("b",), ("a",)))
+    func.blocks["entry"].instrs[2] = Instr("ret", (), ("b",))
+    diagnostics = check_function(func)
+    (hit,) = [d for d in diagnostics if d.code == "FLOW003"]
+    assert hit.severity == "info"
+    assert hit.detail == {"dst": "b", "src": "a", "self": False}
+    assert filter_diagnostics(diagnostics, "warning") == []
+
+
+def test_flow004_hotspot_info_and_pressure_warning():
+    func = rotation_loop(4)
+    diagnostics = check_function(func)
+    infos = [d for d in diagnostics if d.code == "FLOW004"]
+    assert len(infos) == 1 and infos[0].severity == "info"
+    assert infos[0].detail["maxlive"] >= 4
+    # with a small k the hot blocks warn
+    tight = check_function(rotation_loop(4), k=2)
+    warns = [d for d in tight
+             if d.code == "FLOW004" and d.severity == "warning"]
+    assert warns and all(d.detail["pressure"] > 2 for d in warns)
+
+
+def test_flow_passes_clean_on_gadgets():
+    for func in (rotation_loop(3), swap_loop(), phi_merge_diamond(2)):
+        warnings = [
+            d for d in filter_diagnostics(check_function(func), "warning")
+            if d.code.startswith("FLOW")
+        ]
+        assert warnings == []

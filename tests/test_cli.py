@@ -9,7 +9,7 @@ from repro.cli import main
 from repro.challenge.format import dumps_instance
 from repro.challenge.generator import pressure_instance
 from repro.graphs.io import dumps_dimacs
-from repro.ir import GeneratorConfig, format_function, random_function
+from repro.ir import format_function
 
 
 @pytest.fixture
@@ -27,15 +27,49 @@ def challenge_file(tmp_path):
     return str(path)
 
 
+# Hand-written strict-SSA functions with no dead code: the checker
+# reports dead definitions (FLOW002) as warnings, so the "clean file"
+# fixture must genuinely be clean — randomly generated programs are not.
+_CLEAN_IR = """\
+func f0 entry entry
+entry:
+  a = const
+  b = const
+  c = add a, b
+  br c
+  -> left, right
+left:
+  d = add c, a
+  -> join
+right:
+  e = mul c, b
+  -> join
+join:
+  r = phi(left: d, right: e)
+  ret r
+func f1 entry entry
+entry:
+  n = const
+  one = const
+  i0 = const
+  -> head
+head:
+  i = phi(entry: i0, body: i1)
+  cond = cmp i, n
+  br cond
+  -> body, exit
+body:
+  i1 = add i, one
+  -> head
+exit:
+  ret i
+"""
+
+
 @pytest.fixture
 def ir_file(tmp_path):
     path = tmp_path / "funcs.ir"
-    path.write_text(
-        "".join(
-            format_function(random_function(s, GeneratorConfig(num_vars=6)))
-            for s in range(2)
-        )
-    )
+    path.write_text(_CLEAN_IR)
     return str(path)
 
 

@@ -290,16 +290,21 @@ def test_fuzz_build_backends_agree(seed):
 @given(st.integers(0, 10_000))
 def test_fuzz_programs_pass_analysis(seed):
     """Every generated strict program is clean under `repro check`
-    semantics: no diagnostics at the default (warning) severity."""
+    semantics: no diagnostics at the default (warning) severity —
+    except FLOW002 dead-definition lint, which legitimately fires on
+    random programs (the generator performs no dead-code elimination,
+    so unused definitions are expected, not an invariant violation)."""
     from repro.analysis import filter_diagnostics
     from repro.analysis.runner import check_function
     from repro.ir.generators import random_function
 
     func = random_function(seed)
     diagnostics = check_function(func)
-    assert filter_diagnostics(diagnostics, "warning") == [], [
-        str(d) for d in filter_diagnostics(diagnostics, "warning")
+    unexpected = [
+        d for d in filter_diagnostics(diagnostics, "warning")
+        if d.code != "FLOW002"
     ]
+    assert unexpected == [], [str(d) for d in unexpected]
 
 
 @settings(max_examples=30, deadline=None)

@@ -1,0 +1,192 @@
+"""Tests for SARIF export, fingerprints, baselines, and the CLI wiring.
+
+The acceptance shape: ``repro check examples/llvm/chacha_block.ll
+--sarif out.sarif`` produces a valid SARIF 2.1.0 log whose results
+carry ``file:line`` physical locations; ``--baseline`` gates the exit
+status on non-baselined findings only.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Diagnostic, load_all_passes
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    apply_baseline,
+    dumps_sarif,
+    fingerprint,
+    load_baseline,
+    make_baseline,
+    to_sarif,
+    write_baseline,
+)
+from repro.cli import main
+
+load_all_passes()
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _diag(**kw):
+    base = dict(code="FLOW002", severity="warning", message="dead",
+                where="entry:1", obj="f", passname="dead-defs",
+                file="a.ll", line=9)
+    base.update(kw)
+    return Diagnostic(**base)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+def test_fingerprint_stable_and_location_sensitive():
+    assert fingerprint(_diag()) == fingerprint(_diag())
+    # rewording the message or shifting the line must NOT churn
+    assert fingerprint(_diag(message="x", line=99)) == fingerprint(_diag())
+    # moving the finding must churn
+    assert fingerprint(_diag(where="exit:0")) != fingerprint(_diag())
+    assert fingerprint(_diag(code="FLOW001")) != fingerprint(_diag())
+    assert fingerprint(_diag(file="b.ll")) != fingerprint(_diag())
+    assert len(fingerprint(_diag())) == 16
+
+
+# ---------------------------------------------------------------------------
+# SARIF document shape
+# ---------------------------------------------------------------------------
+
+def test_to_sarif_shape():
+    doc = to_sarif([_diag(), _diag(code="FLOW001", severity="info",
+                                   message="island")])
+    assert doc["version"] == SARIF_VERSION
+    assert "$schema" in doc
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-check"
+    assert [r["id"] for r in driver["rules"]] == ["FLOW001", "FLOW002"]
+    # registered codes carry their pass metadata
+    by_id = {r["id"]: r for r in driver["rules"]}
+    assert by_id["FLOW002"]["properties"]["pass"] == "dead-defs"
+    results = run["results"]
+    assert len(results) == 2
+    first = results[0]
+    assert first["ruleId"] == "FLOW002"
+    assert first["level"] == "warning"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "a.ll"
+    assert loc["region"]["startLine"] == 9
+    logical = first["locations"][0]["logicalLocations"][0]
+    assert logical["fullyQualifiedName"] == "f:entry:1"
+    assert first["partialFingerprints"]["repro/v1"] == fingerprint(_diag())
+    # info maps to the SARIF "note" level
+    assert results[1]["level"] == "note"
+
+
+def test_sarif_without_provenance_has_logical_location_only():
+    doc = to_sarif([_diag(file="", line=0)])
+    (result,) = doc["runs"][0]["results"]
+    assert "physicalLocation" not in result["locations"][0]
+    assert result["locations"][0]["logicalLocations"]
+
+
+def test_sarif_marks_suppressed_results():
+    diag = _diag()
+    doc = to_sarif([diag], suppressed={fingerprint(diag)})
+    (result,) = doc["runs"][0]["results"]
+    assert result["suppressions"] == [{"kind": "external"}]
+
+
+def test_dumps_sarif_is_byte_stable():
+    diags = [_diag(), _diag(code="FLOW001")]
+    assert dumps_sarif(diags) == dumps_sarif(diags)
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    diags = [_diag(), _diag(where="exit:0")]
+    path = tmp_path / "base.json"
+    write_baseline(str(path), diags)
+    suppressed = load_baseline(str(path))
+    assert suppressed == {fingerprint(d) for d in diags}
+    shown, hidden = apply_baseline(
+        diags + [_diag(code="FLOW001")], suppressed
+    )
+    assert [d.code for d in shown] == ["FLOW001"]
+    assert len(hidden) == 2
+
+
+def test_make_baseline_dedupes_and_sorts():
+    doc = make_baseline([_diag(), _diag(), _diag(code="FLOW001")])
+    assert doc["version"] == 1
+    assert len(doc["suppress"]) == 2
+    assert [e["code"] for e in doc["suppress"]] == ["FLOW001", "FLOW002"]
+
+
+def test_load_baseline_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 2, "suppress": []}')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+    path.write_text('{"version": 1, "suppress": [{"code": "X"}]}')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# ---------------------------------------------------------------------------
+# CLI end-to-end
+# ---------------------------------------------------------------------------
+
+def test_cli_sarif_acceptance_chacha(tmp_path, capsys):
+    out = tmp_path / "out.sarif"
+    status = main([
+        "check", str(EXAMPLES / "llvm" / "chacha_block.ll"),
+        "--sarif", str(out),
+    ])
+    assert status == 0  # the shipped corpus is clean at warning level
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert results, "SARIF must include info-level evidence results"
+    for result in results:
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("chacha_block.ll")
+        assert loc["region"]["startLine"] > 0
+
+
+def test_cli_baseline_gates_new_findings_only(tmp_path, capsys):
+    bug = str(EXAMPLES / "llvm_bugs" / "dead_store.ll")
+    base = tmp_path / "base.json"
+    # record the seeded findings, then gate: nothing new -> exit 0
+    assert main(["check", bug, "--write-baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert main(["check", bug]) == 1
+    capsys.readouterr()
+    assert main(["check", bug, "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+def test_cli_sarif_covers_all_severities(tmp_path, capsys):
+    # default threshold hides info findings from the console but the
+    # SARIF log still carries them (as "note"), so viewers can filter
+    out = tmp_path / "bugs.sarif"
+    bug = str(EXAMPLES / "llvm_bugs" / "redundant_copy.ll")
+    assert main(["check", bug, "--sarif", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+    assert levels.get("FLOW003") == "note"
+
+
+def test_cli_rejects_malformed_baseline(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    status = main([
+        "check", str(EXAMPLES / "llvm_bugs" / "dead_store.ll"),
+        "--baseline", str(bad),
+    ])
+    assert status == 2
+    assert "error" in capsys.readouterr().err
