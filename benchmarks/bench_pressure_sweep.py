@@ -21,6 +21,11 @@ from conftest import attach_tracer, emit
 from repro.engine import TaskSpec, expand_grid, run_tasks
 from repro.coalescing.conservative import conservative_coalesce
 from repro.challenge.generator import pressure_instance
+from repro.allocator import spill_costs, ssa_allocate
+from repro.allocator.spill import is_spill_temp
+from repro.intervals import linear_scan_allocate
+from repro.ir import GeneratorConfig, construct_ssa, random_function
+from repro.ir.liveness import maxlive
 
 K = 7
 MARGINS = [0, 1, 2, 3]
@@ -70,3 +75,88 @@ def test_pressure_sweep(benchmark):
     for s in STRATEGIES:
         assert data[(MARGINS[-1], s)] >= 0.99 * data[(0, s)]
     assert data[(MARGINS[-1], "briggs")] >= 0.95
+
+
+# --- joint spill + coalesce regime (k below Maxlive) -----------------
+#
+# The sweep above keeps k >= Maxlive so spilling never triggers.  The
+# companion regime pushes k *below* Maxlive (deficit = Maxlive - k) so
+# spill-everywhere fires, and compares the graph-based two-phase
+# allocator against the interval-based linear-scan family on both
+# axes at once: what was spilled (cost under the loop-frequency model
+# of repro.allocator.spill) and what the copies look like afterwards
+# (coalesced vs residual moves).
+
+JOINT_SEEDS = [2, 5, 9]
+DEFICITS = [0, 1, 2]
+JOINT_STRATEGIES = [
+    ("ssa/briggs_george", None),
+    ("ssa/optimistic", None),
+    ("linear-scan", "classic"),
+    ("second-chance", "second-chance"),
+]
+
+
+def _spilled_cost(spilled, costs):
+    """Total frequency-weighted cost of the spilled variables.
+
+    Later spill rounds evict ``.rN`` reload temporaries whose cost is
+    accounted at their base variable's rate.
+    """
+    total = 0.0
+    for var in spilled:
+        base = var.rsplit(".r", 1)[0] if is_spill_temp(var) else var
+        total += costs.get(var, costs.get(base, 1.0))
+    return total
+
+
+def test_joint_spill_coalesce(benchmark):
+    funcs = [
+        construct_ssa(
+            random_function(seed, GeneratorConfig(num_vars=10))
+        )
+        for seed in JOINT_SEEDS
+    ]
+    rows = []
+    results = {}
+    for label, variant in JOINT_STRATEGIES:
+        for deficit in DEFICITS:
+            cost = spilled = coalesced = residual = 0.0
+            for func in funcs:
+                k = max(2, maxlive(func) - deficit)
+                costs = spill_costs(func)
+                if variant is None:
+                    result, _ = ssa_allocate(
+                        func, k, coalescing=label.split("/")[1]
+                    )
+                else:
+                    result = linear_scan_allocate(func, k, variant=variant)
+                assert not result.verify(), (label, deficit, func.name)
+                cost += _spilled_cost(result.spilled, costs)
+                spilled += len(result.spilled)
+                coalesced += result.coalesced_moves
+                residual += result.residual_moves
+            results[(label, deficit)] = (cost, spilled)
+            rows.append([
+                label, deficit, f"{cost:.1f}", int(spilled),
+                int(coalesced), int(residual),
+            ])
+    inst_func = funcs[0]
+    benchmark(
+        linear_scan_allocate, inst_func,
+        max(2, maxlive(inst_func) - 1), "second-chance",
+    )
+    emit(
+        benchmark,
+        "E2b: joint spill+coalesce regime, k = Maxlive - deficit",
+        ["strategy", "deficit", "spilled cost", "spilled",
+         "coalesced moves", "residual moves"],
+        rows,
+    )
+    # deficit 0 is the paper's decoupled sweet spot: the two-phase
+    # allocator needs no spills at k = Maxlive
+    for label in ("ssa/briggs_george", "ssa/optimistic"):
+        assert results[(label, 0)] == (0.0, 0.0), results[(label, 0)]
+    # below Maxlive *everyone* must spill something
+    for label, _ in JOINT_STRATEGIES:
+        assert results[(label, 2)][1] > 0, (label, results[(label, 2)])

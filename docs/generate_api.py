@@ -40,6 +40,8 @@ MODULES = [
     "repro.coalescing.node_merging",
     "repro.allocator.spill", "repro.allocator.chaitin", "repro.allocator.irc",
     "repro.allocator.ssa_allocator", "repro.allocator.local",
+    "repro.intervals.model", "repro.intervals.linear_scan",
+    "repro.intervals.coalesce",
     "repro.obs.tracer", "repro.obs.export", "repro.obs.names",
     "repro.bench.snapshot",
     "repro.budget",
@@ -61,6 +63,7 @@ MODULES = [
     "repro.analysis.ssa_check", "repro.analysis.liveness_check",
     "repro.analysis.certificates", "repro.analysis.coalescing_check",
     "repro.analysis.runner", "repro.analysis.engine_check",
+    "repro.analysis.interval_check",
     "repro.analysis.debug",
     "repro.cli",
 ]

@@ -8,6 +8,18 @@ Two designs from the paper's Section 1:
 * :func:`ssa_allocate` — the decoupled two-phase allocator: spill to
   Maxlive ≤ k on strict SSA, then colour the (chordal) graph while
   coalescing with any strategy.
+
+A third family lives in :mod:`repro.intervals`:
+:func:`repro.intervals.linear_scan_allocate` colours live *intervals*
+instead of the graph (classic Poletto and hole-aware second-chance
+variants), reusing this package's :func:`spill_everywhere` cost model
+and rewriting.  It is deliberately not re-exported here — the interval
+subsystem builds on :class:`AllocationResult`, so an eager re-export
+would cycle — reach it via ``repro.intervals`` or ``repro allocate
+--allocator linear-scan|second-chance``.  (The unrelated ``Interval``
+/ ``block_intervals`` / ``max_overlap`` names below are the older
+single-block local-allocation machinery of :mod:`repro.allocator
+.local`; :mod:`repro.intervals` is the whole-function model.)
 """
 
 from .spill import (

@@ -56,10 +56,14 @@ __all__ = [
 ]
 
 #: Strategies whose contract does NOT promise a greedy-k-colorable
-#: quotient: aggressive coalescing ignores colorability entirely, and
-#: the ``kcolorable`` exact target optimizes against plain
-#: k-colorability (strictly weaker than greedy-k-colorability, §2.2).
-NON_CONSERVATIVE_STRATEGIES = frozenset({"aggressive", "exact-kcolorable"})
+#: quotient: aggressive coalescing ignores colorability entirely, the
+#: ``kcolorable`` exact target optimizes against plain k-colorability
+#: (strictly weaker than greedy-k-colorability, §2.2), and interval
+#: coalescing (:mod:`repro.intervals.coalesce`) merges on interval
+#: disjointness alone, like aggressive with a coarser oracle.
+NON_CONSERVATIVE_STRATEGIES = frozenset(
+    {"aggressive", "exact-kcolorable", "interval"}
+)
 
 
 @dataclass

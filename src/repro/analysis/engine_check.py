@@ -41,7 +41,12 @@ from .diagnostics import Diagnostic
 from .registry import AnalysisContext
 from .runner import run_passes
 
-__all__ = ["VERIFY_MAX_STEPS", "verify_record", "certify_payload"]
+__all__ = [
+    "VERIFY_MAX_STEPS",
+    "verify_record",
+    "certify_payload",
+    "certify_allocation_payload",
+]
 
 #: Step budget for one record's verification — deterministic (a step
 #: budget, not a wall-clock one) so cache-verification outcomes are
@@ -112,6 +117,47 @@ def certify_payload(
     return out
 
 
+def certify_allocation_payload(
+    spec: Any,
+    payload: Mapping[str, Any],
+    budget: Optional[Budget] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> List[Diagnostic]:
+    """Re-validate an allocation task payload (linear-scan family).
+
+    Allocation tasks are deterministic given the spec, so the verifier
+    simply *re-runs* the allocator on the freshly loaded function,
+    rebuilds the reference payload, and reports every differing field
+    as ``ENG001`` — then runs the ``allocation`` analysis passes
+    (``ALLOC*``/``INTV*``) on the re-derived result, so the recorded
+    assignment is certified against recomputed interference *and* the
+    interval abstraction, not trusted.
+    """
+    from ..engine.tasks import _allocation_payload, _load_task_function
+    from ..intervals.linear_scan import linear_scan_allocate
+
+    func, k = _load_task_function(spec)
+    variant = (
+        "classic" if spec.strategy == "linear-scan" else "second-chance"
+    )
+    result = linear_scan_allocate(func, k, variant=variant)
+    expected = _allocation_payload(spec, result)
+    out: List[Diagnostic] = []
+    for key in sorted(set(expected) | set(payload)):
+        if expected.get(key) != payload.get(key):
+            out.append(Diagnostic(
+                "ENG001", "error",
+                f"allocation payload field {key!r} is "
+                f"{payload.get(key)!r} but deterministic re-execution "
+                f"yields {expected.get(key)!r}",
+                obj=func.name,
+                detail={"field": key},
+            ))
+    ctx = AnalysisContext(k=k, budget=budget, tracer=tracer, obj=func.name)
+    out.extend(run_passes(result, "allocation", ctx))
+    return out
+
+
 def verify_record(
     spec: Any,
     record: Mapping[str, Any],
@@ -122,8 +168,15 @@ def verify_record(
 
     Fault-injection tasks, custom ``call`` tasks (opaque payloads), and
     records without an ``ok`` status are skipped, not failed.
+    Allocation tasks route through
+    :func:`certify_allocation_payload`; everything else is a coalescing
+    task and routes through :func:`certify_payload`.
     """
-    from ..engine.tasks import FAULT_GENERATORS, _generate_instance
+    from ..engine.tasks import (
+        ALLOCATION_STRATEGIES,
+        FAULT_GENERATORS,
+        _generate_instance,
+    )
 
     status = record.get("status")
     if status != "ok":
@@ -150,6 +203,19 @@ def verify_record(
     if budget is None:
         budget = Budget(max_steps=VERIFY_MAX_STEPS)
     tracer.count("analysis.records_verified")
+    if spec.strategy in ALLOCATION_STRATEGIES:
+        with tracer.span("analysis/verify-record"):
+            diagnostics = certify_allocation_payload(
+                spec, payload, budget=budget, tracer=tracer
+            )
+        if any(d.code == "BUDGET001" for d in diagnostics):
+            status_out = "budget_exceeded"
+        elif any(d.severity == "error" for d in diagnostics):
+            status_out = "failed"
+        else:
+            status_out = "certified"
+        reported = [d for d in diagnostics if d.severity != "info"]
+        return {"status": status_out, "diagnostics": _diag_dicts(reported)}
     with tracer.span("analysis/verify-record"):
         instance = _generate_instance(spec)
         diagnostics: List[Diagnostic] = []

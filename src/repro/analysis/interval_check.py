@@ -1,0 +1,115 @@
+"""Translation validation of interval-derived register assignments.
+
+The linear-scan family (:mod:`repro.intervals.linear_scan`) colors
+live *intervals*, not the interference graph — so the graph-side
+passes (``ALLOC001``..``ALLOC004``) alone would leave the interval
+abstraction itself unaudited.  The ``allocation-intervals`` pass
+closes that gap with three ``INTV`` diagnostics, all recomputed from
+scratch on the result's final code:
+
+* ``INTV001`` (error) — *soundness of the abstraction*: two non-slot
+  variables interfere in the Chaitin graph but their rebuilt live
+  intervals do not intersect.  The occupancy convention of
+  :mod:`repro.intervals.model` makes this impossible by construction;
+  a firing means interval non-overlap no longer certifies graph
+  non-adjacency and every interval-based merge is suspect.
+* ``INTV002`` (error) — *exclusivity of the assignment*: two
+  variables share a register while their intervals intersect (the
+  interval-side mirror of ``ALLOC001``, caught without consulting the
+  graph at all).
+* ``INTV003`` (info on success, error on mismatch) — *pressure
+  agreement*: the maximum simultaneous interval overlap equals the
+  function's Maxlive, certifying that the interval and set views of
+  register pressure coincide on this exact code.
+
+The pass guards on the ``interval_variant`` marker of
+:class:`~repro.intervals.linear_scan.LinearScanResult` and skips
+silently for graph-based allocators, so ``repro check`` and the
+engine's ``verify=`` path can run the whole ``allocation`` kind
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from .diagnostics import Diagnostic
+from .registry import AnalysisContext, analysis_pass
+
+__all__ = ["check_interval_allocation"]
+
+
+@analysis_pass(
+    "allocation-intervals", "allocation",
+    codes=("INTV001", "INTV002", "INTV003"),
+)
+def check_interval_allocation(
+    result: Any, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    """Interval-derived assignments are interference-valid."""
+    if not getattr(result, "interval_variant", ""):
+        return
+    from ..allocator.spill import is_memory_slot
+    from ..intervals.model import build_intervals
+    from ..ir.interference import chaitin_interference
+    from ..ir.liveness import maxlive
+
+    func = result.function
+    iset = build_intervals(func)
+    intervals = iset.intervals
+    graph = chaitin_interference(func, weighted=False)
+    for u, v in graph.edges():
+        ctx.check_budget()
+        if is_memory_slot(u) or is_memory_slot(v):
+            continue
+        iu, iv = intervals.get(u), intervals.get(v)
+        if iu is None or iv is None or not iu.intersects(iv):
+            a, b = sorted((str(u), str(v)))
+            yield Diagnostic(
+                "INTV001", "error",
+                f"{a} and {b} interfere but their live intervals do "
+                "not intersect — the interval abstraction missed an "
+                "interference",
+                where=f"{a}--{b}", obj=func.name,
+                detail={"edge": [a, b]},
+            )
+    by_register: Dict[int, List[str]] = {}
+    for var, register in result.assignment.items():
+        if not is_memory_slot(var):
+            by_register.setdefault(register, []).append(var)
+    for register in sorted(by_register):
+        members = sorted(by_register[register])
+        for i, a in enumerate(members):
+            ia = intervals.get(a)
+            if ia is None:
+                continue
+            for b in members[i + 1:]:
+                ctx.check_budget()
+                ib = intervals.get(b)
+                if ib is not None and ia.intersects(ib):
+                    yield Diagnostic(
+                        "INTV002", "error",
+                        f"{a} and {b} share register r{register} but "
+                        "their live intervals intersect",
+                        where=f"{a}--{b}", obj=func.name,
+                        detail={"pair": [a, b], "register": register},
+                    )
+    ctx.check_budget()
+    overlap = iset.max_overlap()
+    pressure = maxlive(func)
+    if overlap == pressure:
+        yield Diagnostic(
+            "INTV003", "info",
+            f"max simultaneous interval overlap {overlap} == Maxlive "
+            "— the interval and set pressure views agree",
+            obj=func.name,
+            detail={"max_overlap": overlap, "maxlive": pressure},
+        )
+    else:
+        yield Diagnostic(
+            "INTV003", "error",
+            f"max simultaneous interval overlap {overlap} != Maxlive "
+            f"{pressure}",
+            obj=func.name,
+            detail={"max_overlap": overlap, "maxlive": pressure},
+        )

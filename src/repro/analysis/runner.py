@@ -29,6 +29,7 @@ from ..budget import Budget, BudgetExceeded
 from ..obs import NULL_TRACER, Tracer
 from . import certificates as _certificates  # noqa: F401  (registers passes)
 from . import flow_check as _flow_check  # noqa: F401
+from . import interval_check as _interval_check  # noqa: F401
 from . import liveness_check as _liveness_check  # noqa: F401
 from .coalescing_check import claim_from_result
 from .diagnostics import Diagnostic, sort_diagnostics

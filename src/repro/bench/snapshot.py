@@ -162,6 +162,48 @@ def pinned_suite() -> List[Dict[str, object]]:
             },
         })
 
+    # --- live-interval construction (liveness + point walk) ----------
+    # The builders share the RANGES_BUILT output counter (identical by
+    # construction); the dense/dict contrast is the liveness fixpoint
+    # plus the per-point mask-vs-set occupancy algebra.
+    from ..intervals.model import build_intervals, build_intervals_dict
+
+    fn6 = random_function(seed=6, config=build_cfg)
+    for label, ifunc in (("fn-6", fn6), ("ll-interp", ll_func)):
+        cases.append({
+            "kernel": "intervals",
+            "instance": label,
+            "runners": {
+                "dense": lambda t, f=ifunc: build_intervals(f, tracer=t),
+                "dict": lambda t, f=ifunc: build_intervals_dict(
+                    f, tracer=t
+                ),
+            },
+        })
+
+    # --- linear scan end to end (build + scan, backend-switched) -----
+    # Second-chance at k = Maxlive: a pure scan (no spill rounds), so
+    # the row isolates the interval-construction backends under the
+    # allocator's real access pattern.
+    from ..intervals.linear_scan import linear_scan_allocate
+    from ..ir.liveness import maxlive as _maxlive
+
+    with open(corpus_dir() / "interp.ll") as stream:
+        scan_func = load_functions(stream.read())[0]
+    scan_k = _maxlive(scan_func)
+    cases.append({
+        "kernel": "linscan",
+        "instance": "ll-interp",
+        "runners": {
+            backend: lambda t, f=scan_func, kk=scan_k, b=backend: (
+                linear_scan_allocate(
+                    f, kk, variant="second-chance", backend=b, tracer=t
+                )
+            )
+            for backend in ("dense", "dict")
+        },
+    })
+
     # --- conservative coalescing (briggs_george worklist) ------------
     for k, rounds, seed in ((12, 20, 5), (16, 16, 13)):
         inst = pressure_instance(

@@ -99,7 +99,7 @@ from .graphs.io import read_dimacs, to_dot
 from .obs import NULL_TRACER, Tracer, merged_report
 
 STRATEGIES = sorted(TESTS) + [
-    "aggressive", "optimistic", "biased", "chordal", "irc",
+    "aggressive", "optimistic", "biased", "chordal", "irc", "interval",
 ]
 
 
@@ -198,22 +198,49 @@ def _load(path: str, dimacs: bool, k: int = 0):
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    """Describe the instances in a challenge, DIMACS, or ``.ll`` file."""
+    """Describe the instances in a challenge, DIMACS, or ``.ll`` file.
+
+    For ``.ll`` input three live-interval columns join the table —
+    Maxlive, the interval count, and the maximum simultaneous interval
+    overlap (:mod:`repro.intervals.model`) — so the set and interval
+    views of register pressure are comparable at a glance (they must
+    agree; the ``maxlive``/``maxovl`` columns print the same number).
+    """
     try:
         instances = _load(args.file, args.dimacs, k=args.k)
     except _InputError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"{'instance':<16} {'|V|':>5} {'|E|':>6} {'|A|':>5} "
-          f"{'k':>3} {'chordal':>8} {'col':>4}")
+    interval_cols: dict = {}
+    if not args.dimacs and _sniff_format(args.file) == "llvm":
+        from .intervals import interval_stats
+
+        try:
+            for func in _load_ir_functions(args.file):
+                interval_cols[func.name] = interval_stats(func)
+        except _InputError:
+            interval_cols = {}
+    header = (f"{'instance':<16} {'|V|':>5} {'|E|':>6} {'|A|':>5} "
+              f"{'k':>3} {'chordal':>8} {'col':>4}")
+    if interval_cols:
+        header += f" {'maxlive':>8} {'ivals':>6} {'maxovl':>7}"
+    print(header)
     for inst in instances:
         structural = inst.graph.structural_graph()
-        print(
+        row = (
             f"{inst.name:<16} {len(inst.graph):>5} "
             f"{inst.graph.num_edges():>6} {inst.graph.num_affinities():>5} "
             f"{inst.k:>3} {str(is_chordal(structural)):>8} "
             f"{coloring_number(structural):>4}"
         )
+        stats = interval_cols.get(inst.name.rpartition(":")[2])
+        if interval_cols:
+            if stats:
+                row += (f" {stats['maxlive']:>8} {stats['intervals']:>6} "
+                        f"{stats['max_overlap']:>7}")
+            else:
+                row += f" {'-':>8} {'-':>6} {'-':>7}"
+        print(row)
     return 0
 
 
@@ -342,6 +369,20 @@ def cmd_allocate(args: argparse.Namespace) -> int:
                     tracer=tracer,
                 )
                 extra = ""
+            elif args.allocator in ("linear-scan", "second-chance"):
+                from .intervals import linear_scan_allocate
+
+                variant = (
+                    "classic" if args.allocator == "linear-scan"
+                    else "second-chance"
+                )
+                result = linear_scan_allocate(
+                    func, args.k, variant=variant, tracer=tracer
+                )
+                extra = (
+                    f", rounds={result.rounds} "
+                    f"max_overlap={result.max_overlap}"
+                )
             else:
                 result, stats = ssa_allocate(
                     func, args.k, coalescing=args.coalescing, tracer=tracer
@@ -876,7 +917,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("allocate", help="register-allocate IR functions")
     p.add_argument("file")
     p.add_argument("--k", type=int, required=True)
-    p.add_argument("--allocator", choices=["chaitin", "ssa"], default="ssa")
+    p.add_argument(
+        "--allocator",
+        choices=["chaitin", "ssa", "linear-scan", "second-chance"],
+        default="ssa",
+    )
     p.add_argument("--coalescing", default="brute")
     p.add_argument("--trace", action="store_true",
                    help="print tracer counters and span timings per function")

@@ -63,6 +63,7 @@ __all__ = [
     "INSTANCE_GENERATORS",
     "FAULT_GENERATORS",
     "STRATEGIES",
+    "ALLOCATION_STRATEGIES",
 ]
 
 #: Code-version tag mixed into every task hash.  Bump it whenever task
@@ -80,8 +81,15 @@ FAULT_GENERATORS = ("sleep", "crash")
 #: whose generator is a dotted callable returning the payload directly.
 EXTRA_STRATEGIES = (
     "aggressive", "optimistic", "biased", "chordal", "irc",
-    "exact", "exact-kcolorable", "call",
+    "exact", "exact-kcolorable", "interval",
+    "linear-scan", "second-chance", "call",
 )
+
+#: Strategies that run a register *allocator* over real code instead
+#: of a coalescing strategy over a graph; they require the ``"llvm"``
+#: generator (graph-only generators carry no code to allocate) and
+#: produce an allocation payload (see :func:`_allocation_payload`).
+ALLOCATION_STRATEGIES = ("linear-scan", "second-chance")
 
 STRATEGIES = tuple(sorted(TESTS)) + EXTRA_STRATEGIES
 
@@ -264,6 +272,10 @@ def execute_strategy(
         return optimal_conservative_coalescing(
             graph, k, target=target, budget=budget
         )
+    if strategy == "interval":
+        from ..intervals.coalesce import interval_coalesce
+
+        return interval_coalesce(graph, k, tracer=tracer)
     return conservative_coalesce(graph, k, test=strategy, tracer=tracer)
 
 
@@ -322,6 +334,66 @@ def _generate_instance(spec: TaskSpec) -> ChallengeInstance:
             "expected ChallengeInstance"
         )
     return instance
+
+
+def _load_task_function(spec: TaskSpec) -> Tuple[Any, int]:
+    """Resolve the lowered function behind an allocation task.
+
+    Allocation strategies need real code, so only the ``"llvm"``
+    generator is accepted.  Returns ``(function, k)`` with loop-depth
+    block frequencies set and ``k`` defaulted to the function's
+    Maxlive when the spec says ``k <= 0`` — the same convention as
+    :func:`repro.frontend.corpus.function_instance`.
+    """
+    if spec.generator != "llvm":
+        raise ValueError(
+            f"allocation strategy {spec.strategy!r} requires the "
+            f"'llvm' generator (got {spec.generator!r}): graph "
+            "generators carry no code to allocate"
+        )
+    import os
+
+    from ..frontend.corpus import corpus_dir, function_from_path
+    from ..ir.interference import set_frequencies_from_loops
+    from ..ir.liveness import maxlive
+
+    params = spec.params_dict()
+    path = params.get("path")
+    if path is None:
+        raise ValueError("the llvm generator requires params['path']")
+    if not os.path.exists(path):
+        candidate = corpus_dir() / path
+        if candidate.exists():
+            path = candidate
+    func = function_from_path(
+        path, function=params.get("function"), sha256=params.get("sha256")
+    )
+    set_frequencies_from_loops(func)
+    k = spec.k if spec.k > 0 else maxlive(func)
+    return func, k
+
+
+def _allocation_payload(spec: TaskSpec, result: Any) -> Dict[str, Any]:
+    """The semantic payload of an allocation task (hash-covered).
+
+    Everything here is deterministic given the spec — the verifier
+    re-runs the allocator and cross-checks field by field (``ENG001``
+    on any mismatch).
+    """
+    return {
+        "function": result.function.name,
+        "k": result.k,
+        "variant": result.interval_variant,
+        "assignment": sorted(
+            [str(v), r] for v, r in result.assignment.items()
+        ),
+        "spilled": sorted(str(v) for v in result.spilled),
+        "rounds": result.rounds,
+        "intervals": result.num_intervals,
+        "max_overlap": result.max_overlap,
+        "coalesced_moves": result.coalesced_moves,
+        "residual_moves": result.residual_moves,
+    }
 
 
 def _coalesce_payload(
@@ -417,6 +489,19 @@ def run_task(
         elif spec.strategy == "call":
             fn = _resolve_dotted(spec.generator)
             payload = fn(spec.seed, spec.k, spec.params_dict(), tracer, budget)
+        elif spec.strategy in ALLOCATION_STRATEGIES:
+            from ..intervals.linear_scan import linear_scan_allocate
+
+            func, k = _load_task_function(spec)
+            variant = (
+                "classic" if spec.strategy == "linear-scan"
+                else "second-chance"
+            )
+            with tracer.span("engine-task"):
+                alloc = linear_scan_allocate(
+                    func, k, variant=variant, tracer=tracer
+                )
+            payload = _allocation_payload(spec, alloc)
         else:
             instance = _generate_instance(spec)
             with tracer.span("engine-task"):

@@ -39,6 +39,7 @@ __all__ = [
     "load_functions",
     "parse_path",
     "function_instance",
+    "function_from_path",
     "instance_from_path",
     "instances_from_path",
     "cfg_dot",
@@ -93,19 +94,19 @@ def instances_from_path(
     ]
 
 
-def instance_from_path(
+def function_from_path(
     path: "str | os.PathLike",
-    k: int = 0,
     function: Optional[str] = None,
     sha256: Optional[str] = None,
-) -> ChallengeInstance:
-    """One instance from a ``.ll`` file (the engine's ``"llvm"`` path).
+) -> Function:
+    """One lowered function from a ``.ll`` file.
 
     ``function`` selects by name (default: the file's first function).
     ``sha256`` optionally pins the file content: a campaign spec that
     records the digest can never silently run against an edited corpus
     file — the cache key covers only the spec, so the spec must cover
-    the data.
+    the data.  Shared by :func:`instance_from_path` and the engine's
+    allocation strategies (which need the code itself, not a graph).
     """
     if sha256 is not None:
         digest = hashlib.sha256(Path(path).read_bytes()).hexdigest()
@@ -118,7 +119,22 @@ def instance_from_path(
     if not module.functions:
         raise ValueError(f"{path}: no functions found")
     source = module.function(function) if function else module.functions[0]
-    func = lower_module(LLModule([source], source=module.source))[0]
+    return lower_module(LLModule([source], source=module.source))[0]
+
+
+def instance_from_path(
+    path: "str | os.PathLike",
+    k: int = 0,
+    function: Optional[str] = None,
+    sha256: Optional[str] = None,
+) -> ChallengeInstance:
+    """One instance from a ``.ll`` file (the engine's ``"llvm"`` path).
+
+    Loads via :func:`function_from_path` (same ``function`` selection
+    and ``sha256`` pinning semantics) and wraps the result with
+    :func:`function_instance`.
+    """
+    func = function_from_path(path, function=function, sha256=sha256)
     return function_instance(
         func, k=k, name=f"{Path(path).stem}:{func.name}"
     )

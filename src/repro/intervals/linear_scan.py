@@ -1,0 +1,283 @@
+"""Linear-scan register allocation over live intervals.
+
+Two variants of the interval-substrate allocator family, both driven
+by :mod:`repro.intervals.model` and both verified (not trusted) by the
+``allocation-intervals`` analysis pass:
+
+* ``"classic"`` — Poletto–Sarkar linear scan.  Intervals are treated
+  as their envelopes ``[start, end]``; the scan keeps an active list,
+  expires intervals whose envelope ended, and on register exhaustion
+  spills the interval with the *furthest end* (the classic heuristic).
+* ``"second-chance"`` — hole-aware binpacking in the spirit of
+  Traub's second-chance allocation: each register holds a set of
+  intervals whose *ranges* do not pairwise intersect, so lifetime
+  holes are reusable; on conflict the cheaper side — measured by
+  :func:`repro.allocator.spill.spill_costs`, the same loop-frequency
+  cost model ``spill_everywhere`` restarts use — is evicted.
+
+Spilling reuses :func:`repro.allocator.spill.spill_everywhere`: each
+round scans, collects victims, rewrites the code (fresh ``.rN`` reload
+temporaries, ``slot(...)`` pseudo-variables), and rebuilds intervals
+until a scan completes with no victim.  Reload temporaries are never
+victims — their single-segment ranges are what spilling produces, so
+re-spilling them cannot reduce pressure.
+
+Soundness does not depend on heuristics: by the occupancy convention
+of :mod:`repro.intervals.model`, Chaitin interference implies interval
+intersection, and both variants never let two range-intersecting
+intervals share a register (the classic variant is coarser — it
+separates envelope-overlapping intervals, a superset).  Every result
+passes :meth:`AllocationResult.verify` and ``repro check`` translation
+validation; the test suite asserts this across the fuzz seeds and the
+whole LLVM corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..allocator.chaitin import AllocationResult
+from ..allocator.spill import (
+    is_memory_slot,
+    is_spill_temp,
+    spill_costs,
+    spill_everywhere,
+)
+from ..analysis.debug import maybe_check_allocation
+from ..ir.cfg import Function
+from ..ir.instructions import Var
+from ..ir.interference import set_frequencies_from_loops
+from ..obs import NULL_TRACER
+from ..obs.tracer import Tracer
+from .model import (
+    IntervalSet,
+    LiveInterval,
+    build_intervals,
+    build_intervals_dict,
+)
+
+__all__ = ["VARIANTS", "LinearScanResult", "linear_scan_allocate"]
+
+#: The allocator variants ``linear_scan_allocate`` accepts.
+VARIANTS = ("classic", "second-chance")
+
+#: Interval-construction backends (the dict one is the benchmark
+#: reference; see ``docs/PERFORMANCE.md``).
+BACKENDS = ("dense", "dict")
+
+
+@dataclass
+class LinearScanResult(AllocationResult):
+    """An :class:`AllocationResult` produced by linear scan.
+
+    Carries the interval-side evidence next to the assignment: the
+    variant that ran, the number of scan rounds (1 + spill restarts),
+    the final interval count and their maximum overlap (== Maxlive of
+    the final, possibly spill-rewritten code).  The non-empty
+    ``interval_variant`` marker is what routes the result through the
+    ``allocation-intervals`` analysis pass.
+    """
+
+    interval_variant: str = ""
+    rounds: int = 1
+    num_intervals: int = 0
+    max_overlap: int = 0
+
+
+def _scan_classic(
+    order: List[LiveInterval],
+    k: int,
+    costs: Dict[Var, float],
+    tracer: Tracer,
+) -> Tuple[Dict[Var, int], List[Var]]:
+    """One Poletto scan: envelope-active list, furthest-end spill."""
+    assignment: Dict[Var, int] = {}
+    victims: List[Var] = []
+    free = list(range(k - 1, -1, -1))  # pop() hands out r0 first
+    active: List[Tuple[int, int, Var]] = []  # (end, register, var)
+    for interval in order:
+        start = interval.start
+        still: List[Tuple[int, int, Var]] = []
+        for end, register, var in active:
+            if end < start:
+                free.append(register)
+            else:
+                still.append((end, register, var))
+        active = still
+        free.sort(reverse=True)
+        if free:
+            register = free.pop()
+            assignment[interval.var] = register
+            active.append((interval.end, register, interval.var))
+            continue
+        tracer.count("linscan.pressure_events")
+        spillable = [t for t in active if not is_spill_temp(t[2])]
+        furthest = (
+            max(spillable, key=lambda t: (t[0], str(t[2])))
+            if spillable
+            else None
+        )
+        if furthest is not None and (
+            furthest[0] > interval.end or is_spill_temp(interval.var)
+        ):
+            # evict the active interval, hand its register to this one
+            end, register, var = furthest
+            active.remove(furthest)
+            del assignment[var]
+            victims.append(var)
+            assignment[interval.var] = register
+            active.append((interval.end, register, interval.var))
+        elif is_spill_temp(interval.var):
+            raise RuntimeError(
+                "register pressure cannot be reduced below "
+                f"k={k}: more than k reload temporaries are "
+                "simultaneously live"
+            )
+        else:
+            victims.append(interval.var)
+    return assignment, victims
+
+
+def _scan_second_chance(
+    order: List[LiveInterval],
+    k: int,
+    costs: Dict[Var, float],
+    tracer: Tracer,
+) -> Tuple[Dict[Var, int], List[Var]]:
+    """One hole-aware scan: range conflicts, cost-based eviction."""
+    assignment: Dict[Var, int] = {}
+    victims: List[Var] = []
+    residents: List[List[LiveInterval]] = [[] for _ in range(k)]
+    for interval in order:
+        placed = False
+        for register in range(k):
+            if all(
+                not interval.intersects(res) for res in residents[register]
+            ):
+                residents[register].append(interval)
+                assignment[interval.var] = register
+                placed = True
+                break
+        if placed:
+            continue
+        tracer.count("linscan.pressure_events")
+        # cheapest eviction set among the registers, if any is legal
+        best: Optional[Tuple[float, int, List[LiveInterval]]] = None
+        for register in range(k):
+            conflicts = [
+                res
+                for res in residents[register]
+                if interval.intersects(res)
+            ]
+            if any(is_spill_temp(res.var) for res in conflicts):
+                continue
+            cost = sum(costs.get(res.var, 1.0) for res in conflicts)
+            if best is None or cost < best[0]:
+                best = (cost, register, conflicts)
+        own_cost = (
+            float("inf")
+            if is_spill_temp(interval.var)
+            else costs.get(interval.var, 1.0)
+        )
+        if best is not None and best[0] < own_cost:
+            cost, register, conflicts = best
+            for res in conflicts:
+                residents[register].remove(res)
+                del assignment[res.var]
+                victims.append(res.var)
+            residents[register].append(interval)
+            assignment[interval.var] = register
+        elif own_cost < float("inf"):
+            victims.append(interval.var)
+        else:
+            raise RuntimeError(
+                "register pressure cannot be reduced below "
+                f"k={k}: reload temporaries conflict in every register"
+            )
+    return assignment, victims
+
+
+def linear_scan_allocate(
+    func: Function,
+    k: int,
+    variant: str = "classic",
+    max_rounds: int = 64,
+    backend: str = "dense",
+    tracer: Tracer = NULL_TRACER,
+) -> LinearScanResult:
+    """Allocate ``k`` registers for ``func`` by linear scan.
+
+    Builds live intervals (``backend`` selects the dense mask walk or
+    the dict reference — identical output), scans them in deterministic
+    ``(start, end, name)`` order, and on victims rewrites the code with
+    :func:`repro.allocator.spill.spill_everywhere` and rescans, up to
+    ``max_rounds`` times.  Returns a :class:`LinearScanResult` whose
+    final function is the rewritten code; ``coalesced_moves`` counts
+    copies whose operands ended up sharing a register.  Raises
+    ``ValueError`` on a bad ``variant``/``backend``/``k`` and
+    ``RuntimeError`` if spilling cannot converge.
+    """
+    if k <= 0:
+        raise ValueError(f"need at least one register, got k={k}")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected {VARIANTS}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
+    build = build_intervals if backend == "dense" else build_intervals_dict
+    scan = _scan_classic if variant == "classic" else _scan_second_chance
+    if not func.frequency:
+        set_frequencies_from_loops(func)
+    work = func
+    spilled: List[Var] = []
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"linear scan did not converge after {max_rounds} "
+                "spill rounds"
+            )
+        with tracer.span("linscan/build"):
+            iset: IntervalSet = build(work, tracer=tracer)
+        order = sorted(
+            (
+                interval
+                for var, interval in iset.intervals.items()
+                if not is_memory_slot(var)
+            ),
+            key=lambda iv: (iv.start, iv.end, str(iv.var)),
+        )
+        costs = spill_costs(work)
+        with tracer.span("linscan/scan"):
+            assignment, victims = scan(order, k, costs, tracer)
+        if not victims:
+            break
+        spilled.extend(victims)
+        tracer.count("linscan.spill_rounds")
+        tracer.count("linscan.spilled_intervals", len(victims))
+        with tracer.span("linscan/spill-rewrite"):
+            work = spill_everywhere(work, set(victims), tracer=tracer)
+    coalesced = 0
+    for _, _, instr in work.moves():
+        dst, src = instr.defs[0], instr.uses[0]
+        if (
+            dst in assignment
+            and src in assignment
+            and assignment[dst] == assignment[src]
+        ):
+            coalesced += 1
+    result = LinearScanResult(
+        function=work,
+        assignment=assignment,
+        k=k,
+        spilled=spilled,
+        coalesced_moves=coalesced,
+        iterations=rounds,
+        interval_variant=variant,
+        rounds=rounds,
+        num_intervals=len(iset),
+        max_overlap=iset.max_overlap(),
+    )
+    maybe_check_allocation(result)
+    return result

@@ -1,0 +1,413 @@
+"""Live intervals over a deterministic program-point numbering.
+
+The paper's coalescing results live on *interference graphs*; the
+companion spill-everywhere report and the linear-scan family live on
+*live intervals*.  This module builds the bridge: a total order of
+program points (RPO block order × instruction index, φ-aware) and, per
+variable, the set of points at which it is live, compressed into
+closed ranges with holes.
+
+Point numbering.  Reachable blocks are laid out in reverse postorder;
+a block with ``n`` instructions occupies ``n + 2`` consecutive points:
+
+* ``entry(b)`` — the block-entry/φ point (φ-targets are defined here,
+  in parallel);
+* ``entry(b) + 1 + i`` — instruction ``i``;
+* ``entry(b) + n + 1`` — the block-end point, carrying ``live_out``
+  (where φ-arguments of successors are consumed).
+
+Occupancy convention.  The variables *occupying* a point are the
+pressure sets of :func:`repro.ir.liveness.maxlive`: ``live_out`` at
+block end, ``live_after(i) ∪ defs(i)`` at instruction ``i`` (a value
+dies at its last use, so an operand that dies can share a register
+with the result — but a def always occupies its own point, even when
+dead), and ``live_in ∪ φ-targets`` at block entry.  Three consequences
+follow by construction and are enforced by the test suite and the
+``allocation-intervals`` analysis pass:
+
+* ``IntervalSet.max_overlap() == maxlive(func)`` — the interval and
+  set views of register pressure agree exactly;
+* Chaitin interference (a def live-along another variable, φ-defs in
+  parallel) implies interval intersection, so interval *non*-overlap
+  certifies graph *non*-adjacency — the soundness direction both the
+  linear-scan allocators and interval coalescing rely on;
+* the interval boundary sets reproduce ``compute_liveness`` exactly
+  (``live_out`` covered at block end, ``live_in ∪ φ-targets`` at
+  entry).
+
+Two builders produce bit-identical intervals: :func:`build_intervals`
+walks the dense liveness masks word-wise (``WORDS_MERGED``), while
+:func:`build_intervals_dict` is the dict-of-set reference
+(``EDGES_SCANNED``).  Both count the shared output-size counter
+:data:`repro.obs.names.RANGES_BUILT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..graphs.dense import WORD_BITS
+from ..ir.cfg import Function
+from ..ir.instructions import Var
+from ..ir.liveness import compute_liveness_dict, liveness_masks, maxlive
+from ..obs import EDGES_SCANNED, NULL_TRACER, RANGES_BUILT, WORDS_MERGED
+from ..obs.tracer import Tracer
+
+__all__ = [
+    "Ranges",
+    "ProgramPoints",
+    "LiveInterval",
+    "IntervalSet",
+    "number_points",
+    "ranges_intersect",
+    "merge_ranges",
+    "build_intervals",
+    "build_intervals_dict",
+    "interval_stats",
+]
+
+#: A sorted, pairwise-disjoint, non-adjacent list of closed point
+#: ranges — the normal form :class:`LiveInterval` maintains.
+Ranges = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class ProgramPoints:
+    """The total order of program points of one function.
+
+    ``order`` lists the reachable blocks in reverse postorder;
+    ``entry`` maps each to its block-entry point and ``sizes`` to its
+    instruction count.  The numbering is fully determined by the CFG,
+    so equal functions get equal numberings.
+    """
+
+    order: Tuple[str, ...]
+    entry: Dict[str, int]
+    sizes: Dict[str, int]
+    total: int
+
+    def block_entry(self, name: str) -> int:
+        """The φ/entry point of block ``name``."""
+        return self.entry[name]
+
+    def instr_point(self, name: str, index: int) -> int:
+        """The point of instruction ``index`` of block ``name``."""
+        if not 0 <= index < self.sizes[name]:
+            raise IndexError(
+                f"block {name} has {self.sizes[name]} instructions, "
+                f"no index {index}"
+            )
+        return self.entry[name] + 1 + index
+
+    def block_end(self, name: str) -> int:
+        """The block-end (``live_out``) point of block ``name``."""
+        return self.entry[name] + self.sizes[name] + 1
+
+    def describe(self, point: int) -> str:
+        """Human-readable location of ``point`` (for diagnostics)."""
+        for name in self.order:
+            end = self.block_end(name)
+            if point > end:
+                continue
+            offset = point - self.entry[name]
+            if offset == 0:
+                return f"{name}:entry"
+            if point == end:
+                return f"{name}:end"
+            return f"{name}[{offset - 1}]"
+        return f"<point {point}>"
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """One variable's live interval: sorted disjoint closed ranges.
+
+    ``ranges`` is a tuple of ``(start, end)`` point pairs, ascending,
+    pairwise disjoint and non-adjacent — gaps between ranges are the
+    interval's *holes* (the hole-aware second-chance allocator packs
+    other intervals into them).
+    """
+
+    var: Var
+    ranges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def start(self) -> int:
+        """First live point (the envelope's left edge)."""
+        return self.ranges[0][0]
+
+    @property
+    def end(self) -> int:
+        """Last live point (the envelope's right edge)."""
+        return self.ranges[-1][1]
+
+    @property
+    def num_ranges(self) -> int:
+        """Number of maximal contiguous live ranges."""
+        return len(self.ranges)
+
+    @property
+    def holes(self) -> int:
+        """Number of gaps between ranges (lifetime holes)."""
+        return len(self.ranges) - 1
+
+    def covers(self, point: int) -> bool:
+        """True iff the variable is live at ``point``."""
+        lo, hi = 0, len(self.ranges) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            start, end = self.ranges[mid]
+            if point < start:
+                hi = mid - 1
+            elif point > end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def intersects(self, other: "LiveInterval") -> bool:
+        """True iff some point is covered by both intervals.
+
+        Hole-aware: envelopes may overlap while the ranges do not —
+        that is exactly the case interval coalescing and second-chance
+        packing exploit.
+        """
+        return ranges_intersect(self.ranges, other.ranges)
+
+
+def ranges_intersect(a: Ranges, b: Ranges) -> bool:
+    """Two-pointer intersection test for sorted disjoint range lists."""
+    i = j = 0
+    while i < len(a) and j < len(b):
+        a_start, a_end = a[i]
+        b_start, b_end = b[j]
+        if a_end < b_start:
+            i += 1
+        elif b_end < a_start:
+            j += 1
+        else:
+            return True
+    return False
+
+
+def merge_ranges(a: Ranges, b: Ranges) -> Ranges:
+    """Union of two sorted disjoint range lists, renormalized.
+
+    Adjacent ranges (``end + 1 == start``) are fused so the result
+    keeps the :class:`LiveInterval` normal form.
+    """
+    merged: List[Tuple[int, int]] = []
+    i = j = 0
+    while i < len(a) or j < len(b):
+        if j >= len(b) or (i < len(a) and a[i] <= b[j]):
+            nxt = a[i]
+            i += 1
+        else:
+            nxt = b[j]
+            j += 1
+        if merged and nxt[0] <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], nxt[1]))
+        else:
+            merged.append(nxt)
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class IntervalSet:
+    """All live intervals of one function plus its point numbering."""
+
+    points: ProgramPoints
+    intervals: Dict[Var, LiveInterval]
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[LiveInterval]:
+        for var in sorted(self.intervals):
+            yield self.intervals[var]
+
+    def __contains__(self, var: Var) -> bool:
+        return var in self.intervals
+
+    def __getitem__(self, var: Var) -> LiveInterval:
+        return self.intervals[var]
+
+    def max_overlap(self) -> int:
+        """Maximum number of intervals live at any single point.
+
+        Event sweep over range endpoints; by the occupancy convention
+        this equals :func:`repro.ir.liveness.maxlive` exactly.
+        """
+        events: List[Tuple[int, int]] = []
+        for interval in self.intervals.values():
+            for start, end in interval.ranges:
+                events.append((start, 1))
+                events.append((end + 1, -1))
+        events.sort()
+        best = depth = 0
+        for _, delta in events:
+            depth += delta
+            if depth > best:
+                best = depth
+        return best
+
+
+def number_points(func: Function) -> ProgramPoints:
+    """Number the reachable blocks' program points (RPO layout)."""
+    order = tuple(func.reverse_postorder())
+    entry: Dict[str, int] = {}
+    sizes: Dict[str, int] = {}
+    next_point = 0
+    for name in order:
+        entry[name] = next_point
+        sizes[name] = len(func.blocks[name].instrs)
+        next_point += sizes[name] + 2
+    return ProgramPoints(order=order, entry=entry, sizes=sizes, total=next_point)
+
+
+def _ranges_from_points(live_points: List[int]) -> Tuple[Tuple[int, int], ...]:
+    """Compress an ascending point list into closed disjoint ranges."""
+    ranges: List[Tuple[int, int]] = []
+    start = prev = live_points[0]
+    for point in live_points[1:]:
+        if point == prev + 1:
+            prev = point
+        else:
+            ranges.append((start, prev))
+            start = prev = point
+    ranges.append((start, prev))
+    return tuple(ranges)
+
+
+def build_intervals(
+    func: Function, tracer: Tracer = NULL_TRACER
+) -> IntervalSet:
+    """Build live intervals from the dense liveness masks.
+
+    One backward walk per block over ``liveness_masks`` output, all
+    occupancy sets held as int bitmasks.  ``WORDS_MERGED`` counts the
+    word-wise mask operations, ``RANGES_BUILT`` the emitted liveness
+    units (identical to the dict builder's).
+    """
+    variables, _, out_masks = liveness_masks(func, tracer=tracer)
+    points = number_points(func)
+    index = {var: i for i, var in enumerate(variables)}
+    words = max(1, (len(variables) + WORD_BITS - 1) // WORD_BITS)
+    counting = tracer.enabled
+    live_points: List[List[int]] = [[] for _ in variables]
+    for name in points.order:
+        block = func.blocks[name]
+        # occupancy per point, built backward from live_out
+        occupancy: List[Tuple[int, int]] = []
+        live = out_masks[name]
+        occupancy.append((points.block_end(name), live))
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            def_mask = 0
+            for var in instr.defs:
+                def_mask |= 1 << index[var]
+            use_mask = 0
+            for var in instr.uses:
+                use_mask |= 1 << index[var]
+            occupancy.append((points.instr_point(name, i), live | def_mask))
+            live = (live & ~def_mask) | use_mask
+            if counting:
+                # occupancy OR, transfer ANDNOT + OR
+                tracer.count(WORDS_MERGED, 3 * words)
+        phi_mask = 0
+        for phi in block.phis:
+            phi_mask |= 1 << index[phi.target]
+        occupancy.append((points.block_entry(name), live | phi_mask))
+        if counting:
+            # entry OR plus the block-end mask copy
+            tracer.count(WORDS_MERGED, 2 * words)
+        for point, mask in reversed(occupancy):
+            emitted = 0
+            rest = mask
+            while rest:
+                low = rest & -rest
+                live_points[low.bit_length() - 1].append(point)
+                rest ^= low
+                emitted += 1
+            if counting and emitted:
+                tracer.count(RANGES_BUILT, emitted)
+    intervals: Dict[Var, LiveInterval] = {}
+    for i, var in enumerate(variables):
+        if live_points[i]:
+            intervals[var] = LiveInterval(
+                var=var, ranges=_ranges_from_points(live_points[i])
+            )
+    return IntervalSet(points=points, intervals=intervals)
+
+
+def build_intervals_dict(
+    func: Function, tracer: Tracer = NULL_TRACER
+) -> IntervalSet:
+    """The dict-of-set interval builder (equivalence reference).
+
+    Same walk as :func:`build_intervals` over
+    :func:`repro.ir.liveness.compute_liveness_dict` sets;
+    ``EDGES_SCANNED`` counts every set element consumed.  Produces
+    intervals bit-identical to the dense builder.
+    """
+    info = compute_liveness_dict(func, tracer=tracer)
+    points = number_points(func)
+    counting = tracer.enabled
+    live_points: Dict[Var, List[int]] = {}
+    for name in points.order:
+        block = func.blocks[name]
+        occupancy: List[Tuple[int, frozenset]] = []
+        live = set(info.live_out[name])
+        occupancy.append((points.block_end(name), frozenset(live)))
+        if counting:
+            tracer.count(EDGES_SCANNED, len(live))
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            defs = set(instr.defs)
+            uses = set(instr.uses)
+            occupancy.append(
+                (points.instr_point(name, i), frozenset(live | defs))
+            )
+            live -= defs
+            live |= uses
+            if counting:
+                tracer.count(
+                    EDGES_SCANNED, len(live) + 2 * len(defs) + len(uses)
+                )
+        phi_targets = {phi.target for phi in block.phis}
+        occupancy.append(
+            (points.block_entry(name), frozenset(live | phi_targets))
+        )
+        if counting:
+            tracer.count(EDGES_SCANNED, len(live) + len(phi_targets))
+        for point, occupants in reversed(occupancy):
+            if counting and occupants:
+                tracer.count(RANGES_BUILT, len(occupants))
+            for var in occupants:
+                live_points.setdefault(var, []).append(point)
+    intervals: Dict[Var, LiveInterval] = {}
+    for var in sorted(live_points):
+        intervals[var] = LiveInterval(
+            var=var, ranges=_ranges_from_points(live_points[var])
+        )
+    return IntervalSet(points=points, intervals=intervals)
+
+
+def interval_stats(func: Function, tracer: Tracer = NULL_TRACER) -> Dict[str, int]:
+    """Summary statistics of a function's live intervals.
+
+    Returns ``intervals`` (variable count), ``ranges``, ``holes``,
+    ``max_overlap`` (== Maxlive), ``maxlive`` (the set-view pressure,
+    for cross-checking) and ``points`` (the numbering's size) — the
+    payload behind ``repro info``'s interval columns.
+    """
+    iset = build_intervals(func, tracer=tracer)
+    return {
+        "intervals": len(iset),
+        "ranges": sum(iv.num_ranges for iv in iset),
+        "holes": sum(iv.holes for iv in iset),
+        "max_overlap": iset.max_overlap(),
+        "maxlive": maxlive(func),
+        "points": iset.points.total,
+    }

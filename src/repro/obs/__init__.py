@@ -16,7 +16,12 @@ report schema.
 """
 
 from .tracer import NULL_TRACER, NullTracer, Tracer
-from .names import EDGES_SCANNED, KERNEL_WORK_COUNTERS, WORDS_MERGED
+from .names import (
+    EDGES_SCANNED,
+    KERNEL_WORK_COUNTERS,
+    RANGES_BUILT,
+    WORDS_MERGED,
+)
 from .export import (
     as_report,
     csv_rows,
@@ -32,6 +37,7 @@ __all__ = [
     "NULL_TRACER",
     "EDGES_SCANNED",
     "WORDS_MERGED",
+    "RANGES_BUILT",
     "KERNEL_WORK_COUNTERS",
     "as_report",
     "csv_rows",

@@ -19,6 +19,12 @@ never data-dependent early exits.
 * ``WORDS_MERGED`` — per-word work: one unit for each machine word
   (:data:`repro.graphs.dense.WORD_BITS` bits) processed by a bitset
   operation (AND/OR/ANDNOT or popcount over a full mask).
+* ``RANGES_BUILT`` — per-output work of the live-interval builders
+  (:mod:`repro.intervals.model`): one unit for each ``(variable,
+  program point)`` liveness unit emitted into an interval.  Both the
+  dense and the dict builder produce identical intervals, so the
+  counter is backend-independent by construction — it measures the
+  *output* size while the other two measure the *input* consumed.
 """
 
 from __future__ import annotations
@@ -29,5 +35,8 @@ EDGES_SCANNED = "kernel.edges_scanned"
 #: Counter name for per-word bitset work (dense kernels).
 WORDS_MERGED = "kernel.words_merged"
 
+#: Counter name for live-interval units emitted by interval builders.
+RANGES_BUILT = "kernel.ranges_built"
+
 #: Every kernel-work counter, in the order reports list them.
-KERNEL_WORK_COUNTERS = (EDGES_SCANNED, WORDS_MERGED)
+KERNEL_WORK_COUNTERS = (EDGES_SCANNED, WORDS_MERGED, RANGES_BUILT)

@@ -101,7 +101,7 @@ def test_registry_has_all_pass_kinds():
         "coalescing-validity", "coalescing-ledger", "coalescing-conservative",
     }
     assert {p.name for p in passes_for("allocation")} == {
-        "allocation-validity", "allocation-spill",
+        "allocation-validity", "allocation-spill", "allocation-intervals",
     }
     assert {p.name for p in passes_for("function")} >= {
         "cfg-structure", "strictness",

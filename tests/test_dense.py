@@ -288,7 +288,9 @@ class TestSnapshotHarness:
         keys = {(r["kernel"], r["instance"], r["backend"])
                 for r in snap["rows"]}
         assert len(keys) == len(snap["rows"])
-        assert {k for k, _, _ in keys} == {"build", "mcs", "color", "coalesce"}
+        assert {k for k, _, _ in keys} == {
+            "build", "mcs", "color", "coalesce", "intervals", "linscan",
+        }
         # work counters exactly reproduce; generous wall band for CI noise
         again = run_snapshot(repeats=1, rev="test")
         for a, b in zip(snap["rows"], again["rows"]):

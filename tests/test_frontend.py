@@ -343,7 +343,7 @@ class TestEngine:
         generators = {spec.generator for spec in campaign.tasks}
         assert generators == {"llvm", "program"}
         llvm = [s for s in campaign.tasks if s.generator == "llvm"]
-        assert len(llvm) == 5 * len(corpus_functions())
+        assert len(llvm) == 6 * len(corpus_functions())
 
 
 # ---------------------------------------------------------------------------

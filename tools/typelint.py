@@ -47,7 +47,7 @@ FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 IMPLICIT_PARAMS = frozenset({"self", "cls"})
 
 #: Packages whose public ``*_dict`` defs count as reference kernels.
-KERNEL_HOMES = ("repro/graphs/", "repro/ir/")
+KERNEL_HOMES = ("repro/graphs/", "repro/ir/", "repro/intervals/")
 
 #: Path fragments allowed to reference dict kernels (TL005).
 DICT_KERNEL_ALLOWED = (
@@ -57,6 +57,7 @@ DICT_KERNEL_ALLOWED = (
     "repro/ir/interference.py",
     "repro/ir/__init__.py",
     "repro/bench/snapshot.py",
+    "repro/intervals/",
 )
 
 
