@@ -39,7 +39,8 @@ def spill_costs(func: Function) -> Dict[Var, float]:
     else:
         freq = {b: func.block_frequency(b) for b in func.blocks}
     costs: Dict[Var, float] = {}
-    for name in func.reachable():
+    # insertion-order walk so float accumulation order is reproducible
+    for name in func.reachable_order():
         block = func.blocks[name]
         f = freq.get(name, 1.0)
         for phi in block.phis:

@@ -93,7 +93,9 @@ def spill_to_pressure(
         # find a maximal-pressure point and spill its cheapest live var
         best_point: Tuple[str, int] = ("", -1)
         best_live: Set[Var] = set()
-        for name in work.reachable():
+        # insertion-order walk: ties between equal-pressure points are
+        # broken by visit order, which must not follow string hashing
+        for name in work.reachable_order():
             block = work.blocks[name]
             live = {v for v in info.live_out[name] if not is_memory_slot(v)}
             if len(live) > len(best_live):

@@ -490,12 +490,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     """Run, resume, or inspect an experiment campaign (repro.engine)."""
     import os
 
-    from .engine import ResultCache, campaign_status, load_campaign, run_campaign
+    from .engine import (
+        ResultCache,
+        campaign_status,
+        load_campaign,
+        run_campaign,
+        run_campaign_remote,
+    )
 
     try:
         campaign = load_campaign(args.spec)
     except (OSError, ValueError) as exc:
         print(f"campaign spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    if args.remote and args.action != "run":
+        print("--remote only applies to 'run' (the service owns the "
+              "cache, so status/resume are local-only)", file=sys.stderr)
         return 2
     if args.action == "resume" and not os.path.isdir(args.cache_dir):
         print(
@@ -504,10 +514,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    cache = ResultCache(args.cache_dir)
 
     if args.action == "status":
-        status = campaign_status(campaign, cache)
+        status = campaign_status(campaign, ResultCache(args.cache_dir))
         if args.json:
             json.dump(status, sys.stdout, indent=2)
             sys.stdout.write("\n")
@@ -521,14 +530,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   f"reusable {status['reusable']}")
         return 0
 
-    summary = run_campaign(
-        campaign,
-        cache,
-        workers=args.workers,
-        timeout=args.timeout,
-        retries=args.retries,
-        verify=True if args.verify else None,
-    )
+    if args.remote:
+        try:
+            summary = run_campaign_remote(
+                campaign,
+                args.remote,
+                workers=args.workers,
+                verify=True if args.verify else None,
+                deadline=args.timeout,
+            )
+        except (OSError, TimeoutError) as exc:
+            print(f"remote campaign: {exc}", file=sys.stderr)
+            return 2
+    else:
+        summary = run_campaign(
+            campaign,
+            ResultCache(args.cache_dir),
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            verify=True if args.verify else None,
+        )
     if args.output:
         with open(args.output, "w") as stream:
             json.dump(summary, stream, indent=2, sort_keys=True)
@@ -543,6 +565,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"{summary['executed']} executed "
               f"in {summary['wall_seconds']:.2f}s "
               f"(workers={summary['workers']})")
+        if summary.get("remote"):
+            print(f"  remote           {summary['remote']}")
+            print(f"  served           {summary['served']}")
         for name, count in summary["by_status"].items():
             print(f"  {name:<16} {count}")
         verification = summary.get("verification")
@@ -698,6 +723,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import ServeConfig, Service
 
+    if args.shards:
+        from .serve.router import serve_sharded
+
+        if args.port == 0:
+            print("--shards needs a fixed --port (shards listen on "
+                  "port+1..port+N)", file=sys.stderr)
+            return 2
+        try:
+            asyncio.run(serve_sharded(args))
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -711,6 +752,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         heavy_queue=args.heavy_queue,
         heavy_concurrency=args.heavy_concurrency,
         task_timeout=args.timeout,
+        mem_entries=args.mem_entries,
     )
     service = Service(config)
 
@@ -737,6 +779,17 @@ def cmd_client(args: argparse.Namespace) -> int:
 
     from .serve.client import LoadConfig, drain, run_load, wait_healthy
 
+    params = {}
+    for item in args.param:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            print(f"error: --param expects KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
     try:
         config = LoadConfig(
             url=args.url,
@@ -747,6 +800,7 @@ def cmd_client(args: argparse.Namespace) -> int:
             generator=args.generator,
             strategy=args.strategy,
             k=args.k,
+            params=params,
             seed_base=args.seed_base,
             distinct_seeds=args.distinct_seeds,
             verify=args.verify,
@@ -797,6 +851,105 @@ def cmd_client(args: argparse.Namespace) -> int:
         if status.startswith("5")
     )
     return 1 if failures else 0
+
+
+def _tier_hit_rates(url: str) -> Optional[dict]:
+    """Cache-tier hit/miss counters scraped from a running service's
+    ``/metrics``, with derived hit rates; None when unreachable."""
+    import asyncio
+
+    from .serve.client import request_once
+
+    try:
+        response = asyncio.run(
+            request_once(url, "GET", "/metrics", timeout=5.0)
+        )
+    except (OSError, TimeoutError):
+        return None
+    counters = {}
+    for line in response.body.decode().splitlines():
+        if line.startswith("#") or " " not in line:
+            continue
+        name, _, value = line.rpartition(" ")
+        if name.startswith("repro_cache_"):
+            try:
+                counters[name] = float(value)
+            except ValueError:
+                continue
+    report: dict = {"url": url}
+    for tier in ("memory", "file"):
+        hits = counters.get(f"repro_cache_{tier}_hits_total", 0.0)
+        misses = counters.get(f"repro_cache_{tier}_misses_total", 0.0)
+        probes = hits + misses
+        report[tier] = {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": round(hits / probes, 4) if probes else None,
+        }
+    report["memory"]["evictions"] = int(
+        counters.get("repro_cache_memory_evictions_total", 0.0)
+    )
+    return report
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or compact a result-cache directory (repro.engine.cache)."""
+    import os
+
+    from .engine import CacheIndex, ResultCache
+
+    if not os.path.isdir(args.cache_dir):
+        print(f"cache directory {args.cache_dir!r} does not exist",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+
+    if args.action == "stats":
+        report = cache.stats()
+        report["cache_dir"] = args.cache_dir
+        if args.url:
+            tiers = _tier_hit_rates(args.url)
+            if tiers is None:
+                print(f"warning: {args.url} unreachable; file-store "
+                      "stats only", file=sys.stderr)
+            else:
+                report["tiers"] = tiers
+        if args.json:
+            json.dump(report, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            print(f"cache {args.cache_dir}: {report['entries']} entries, "
+                  f"{report['bytes']} bytes")
+            tiers = report.get("tiers")
+            if tiers:
+                for tier in ("memory", "file"):
+                    stats = tiers[tier]
+                    rate = stats["hit_rate"]
+                    print(f"  {tier:<6} tier   hits={stats['hits']} "
+                          f"misses={stats['misses']} "
+                          f"hit_rate="
+                          f"{'n/a' if rate is None else f'{rate:.1%}'}")
+        return 0
+
+    if args.max_entries is None and args.max_bytes is None:
+        print("compact needs --max-entries and/or --max-bytes",
+              file=sys.stderr)
+        return 2
+    index = CacheIndex(cache).load()
+    report = index.compact(
+        max_entries=args.max_entries, max_bytes=args.max_bytes
+    )
+    report["cache_dir"] = args.cache_dir
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"cache {args.cache_dir}: evicted {report['evicted']} "
+              f"LRU entries "
+              f"({report['entries_before']} -> {report['entries_after']} "
+              f"entries, {report['bytes_before']} -> "
+              f"{report['bytes_after']} bytes)")
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -981,6 +1134,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the summary/status as JSON")
     p.add_argument("--verify", action="store_true",
                    help="certify every result through the analysis passes")
+    p.add_argument("--remote", metavar="URL",
+                   help="dispatch the grid through a running service "
+                   "(single shard or 'serve --shards' router) instead "
+                   "of a local pool; with --remote, --timeout becomes "
+                   "the per-request deadline")
     p.add_argument("-o", "--output", help="also write the summary here")
     p.set_defaults(func=cmd_campaign)
 
@@ -1072,7 +1230,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max concurrent heavy-class dispatches")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-task wall-clock kill timeout in seconds")
+    p.add_argument("--mem-entries", type=int, default=1024,
+                   help="in-memory LRU cache tier capacity in records "
+                   "(0 disables the tier)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="spawn N worker services on port+1..port+N and "
+                   "consistent-hash-route tasks across them from the "
+                   "main port (0 = single process)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or compact a result-cache directory",
+    )
+    p.add_argument("action", choices=["stats", "compact"])
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result cache directory (default .repro-cache)")
+    p.add_argument("--url", metavar="URL",
+                   help="stats: also scrape cache-tier hit rates from "
+                   "this running service's /metrics")
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="compact: keep at most this many records "
+                   "(LRU eviction)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="compact: shrink the store below this many bytes")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "client",
@@ -1089,6 +1273,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="brute",
                    choices=STRATEGIES + ["exact", "exact-kcolorable"])
     p.add_argument("--k", type=int, default=6)
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="generator parameter (repeatable; values parsed "
+                   "as JSON, falling back to strings)")
     p.add_argument("--seed-base", type=int, default=0)
     p.add_argument("--distinct-seeds", type=int, default=None,
                    help="seed cycle length (default: one per request; "

@@ -13,7 +13,10 @@ The pieces (one module each):
   seeds and stable content hashes, plus the in-process executor;
 * :mod:`repro.engine.pool` — the worker pool (:func:`run_tasks`);
 * :mod:`repro.engine.cache` — the JSON result store
-  (:class:`ResultCache`);
+  (:class:`ResultCache`) plus its scaling companions: the in-memory
+  LRU tier (:class:`MemoryCache`), the serving composition
+  (:class:`TieredCache`), and the eviction/compaction index
+  (:class:`CacheIndex`);
 * :mod:`repro.engine.campaign` — orchestration, tracer-report merging,
   and the summary artifact (:func:`run_campaign`).
 
@@ -30,9 +33,15 @@ from .tasks import (
     run_task,
     task_hash,
 )
-from .cache import ResultCache
+from .cache import CacheIndex, MemoryCache, ResultCache, TieredCache
 from .pool import PersistentPool, run_tasks
-from .campaign import Campaign, campaign_status, load_campaign, run_campaign
+from .campaign import (
+    Campaign,
+    campaign_status,
+    load_campaign,
+    run_campaign,
+    run_campaign_remote,
+)
 
 __all__ = [
     "ENGINE_VERSION",
@@ -42,10 +51,14 @@ __all__ = [
     "execute_strategy",
     "run_task",
     "ResultCache",
+    "MemoryCache",
+    "TieredCache",
+    "CacheIndex",
     "run_tasks",
     "PersistentPool",
     "Campaign",
     "load_campaign",
     "run_campaign",
+    "run_campaign_remote",
     "campaign_status",
 ]

@@ -18,6 +18,19 @@ safe under **concurrent writers**: any number of campaign workers and
 write lands whole or not at all, and the last replace wins.  An
 interrupted run never leaves a half-written record; corrupt or
 unreadable entries read back as misses and are simply re-executed.
+
+Three companions scale the store up and out:
+
+* :class:`MemoryCache` — a size-bounded in-process LRU tier holding
+  deserialized records, with exact hit/miss/eviction counters
+  (:data:`repro.obs.names.CACHE_TIER_COUNTERS`);
+* :class:`TieredCache` — the serving composition: memory in front of
+  the file store, promoting file hits into memory so repeats skip the
+  filesystem entirely;
+* :class:`CacheIndex` — a persisted recency/size index over the file
+  store (``<root>/index.json``) supporting LRU **eviction and
+  compaction** (``repro cache compact``) so a content-addressed
+  directory can grow to millions of entries and still be bounded.
 """
 
 from __future__ import annotations
@@ -25,10 +38,22 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ResultCache"]
+from ..obs import (
+    CACHE_FILE_HITS,
+    CACHE_FILE_MISSES,
+    CACHE_MEMORY_EVICTIONS,
+    CACHE_MEMORY_HITS,
+    CACHE_MEMORY_MISSES,
+    NULL_TRACER,
+    Tracer,
+)
+
+__all__ = ["ResultCache", "MemoryCache", "TieredCache", "CacheIndex"]
 
 
 class ResultCache:
@@ -52,14 +77,17 @@ class ResultCache:
             return None
         return record
 
-    def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Atomically write (or overwrite) the record for ``key``.
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        """Atomically write the record for ``key``; True iff an entry
+        already existed (i.e. this put overwrote rather than inserted).
 
         The temp file name is unique per writer (``tempfile.mkstemp``
         in the destination directory), so concurrent processes writing
         the same key never interleave bytes: each finishes its own temp
         file and the ``os.replace`` calls serialize, last one winning
-        with a complete record either way.
+        with a complete record either way.  The overwrite report is
+        best-effort under such races (it reflects whether the entry
+        existed just before this writer's replace).
         """
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -70,7 +98,9 @@ class ResultCache:
             with os.fdopen(fd, "w") as stream:
                 json.dump(record, stream, indent=2, sort_keys=True)
                 stream.write("\n")
+            existed = path.exists()
             os.replace(tmp, path)
+            return existed
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -102,3 +132,275 @@ class ResultCache:
     def summary_path(self, name: str) -> Path:
         """Where a campaign's summary artifact is written."""
         return self.root / f"{name}.summary.json"
+
+    def entry_files(self) -> Iterator[Tuple[str, Path]]:
+        """``(key, path)`` for every stored record, in key order."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem, entry
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total stored bytes (one directory scan)."""
+        entries = 0
+        total = 0
+        for _key, path in self.entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {"entries": entries, "bytes": total}
+
+
+class MemoryCache:
+    """A size-bounded in-process LRU tier over task records.
+
+    ``get`` refreshes recency; ``put`` inserts (or refreshes) and
+    evicts the least-recently-used entries beyond ``capacity``.  Every
+    operation is counted on the tracer
+    (:data:`repro.obs.names.CACHE_TIER_COUNTERS`), and the counts are
+    exact — tests and the ``/metrics`` endpoint rely on
+    hits + misses == lookups.
+
+    Not thread-safe by itself; the service uses it from the event loop
+    only, which serializes access.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.tracer = tracer
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record (refreshing its recency), or None."""
+        record = self._entries.get(key)
+        if record is None:
+            self.tracer.count(CACHE_MEMORY_MISSES)
+            return None
+        self._entries.move_to_end(key)
+        self.tracer.count(CACHE_MEMORY_HITS)
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Insert or refresh; evict LRU entries beyond capacity."""
+        self._entries[key] = record
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.tracer.count(CACHE_MEMORY_EVICTIONS)
+
+    def delete(self, key: str) -> bool:
+        """Drop one entry; True iff it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (counters are left alone)."""
+        self._entries.clear()
+
+    def keys(self) -> List[str]:
+        """Keys from least- to most-recently used."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class TieredCache:
+    """The serving cache composition: a :class:`MemoryCache` in front
+    of the on-disk :class:`ResultCache`.
+
+    ``get`` answers from memory when possible; a file-tier hit is
+    *promoted* into memory so the next repeat skips the filesystem.
+    ``put`` writes through to both tiers.  File-tier hit/miss counts
+    land on the same tracer as the memory tier's, so tier hit rates
+    are directly comparable.
+    """
+
+    def __init__(self, file: ResultCache, memory: MemoryCache,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        self.file = file
+        self.memory = memory
+        self.tracer = tracer
+
+    def get_memory(self, key: str) -> Optional[Dict[str, Any]]:
+        """Probe only the in-memory tier (no filesystem access)."""
+        return self.memory.get(key)
+
+    def get_file(self, key: str) -> Optional[Dict[str, Any]]:
+        """Probe only the file tier; a hit is promoted into memory."""
+        record = self.file.get(key)
+        if record is None:
+            self.tracer.count(CACHE_FILE_MISSES)
+            return None
+        self.tracer.count(CACHE_FILE_HITS)
+        self.memory.put(key, record)
+        return record
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Memory first, then the file store (with promotion)."""
+        record = self.get_memory(key)
+        if record is not None:
+            return record
+        return self.get_file(key)
+
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        """Write through both tiers; True iff the file store had the
+        key already (the :meth:`ResultCache.put` overwrite report)."""
+        overwrote = self.file.put(key, record)
+        self.memory.put(key, record)
+        return overwrote
+
+    def stats(self) -> Dict[str, Any]:
+        """File-store stats plus the memory tier's occupancy."""
+        stats = self.file.stats()
+        stats["memory_entries"] = len(self.memory)
+        stats["memory_capacity"] = self.memory.capacity
+        return stats
+
+
+class CacheIndex:
+    """A recency/size index over a :class:`ResultCache` directory.
+
+    The index is what makes the content-addressed store *bounded*: it
+    knows every entry's size and last-use time, persists itself as
+    ``<root>/index.json``, and :meth:`compact` evicts least-recently
+    used records until the store fits ``max_entries`` / ``max_bytes``.
+
+    :meth:`load` merges the persisted index with a directory scan, so
+    records written by processes that never touched the index (pool
+    workers, other shards) are still indexed — their file mtime stands
+    in for last use until a :meth:`touch` refreshes it.  Losing or
+    deleting ``index.json`` therefore loses nothing but recency hints.
+    """
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, cache: ResultCache) -> None:
+        self.cache = cache
+        self.entries: Dict[str, Dict[str, float]] = {}
+
+    @property
+    def path(self) -> Path:
+        """Where the index persists (inside the cache root)."""
+        return self.cache.root / self.INDEX_NAME
+
+    def load(self) -> "CacheIndex":
+        """Populate from the persisted index merged with a scan."""
+        saved: Dict[str, Dict[str, float]] = {}
+        try:
+            with open(self.path) as stream:
+                data = json.load(stream)
+            if isinstance(data, dict) and isinstance(
+                data.get("entries"), dict
+            ):
+                saved = data["entries"]
+        except (OSError, ValueError):
+            saved = {}
+        self.entries = {}
+        for key, file_path in self.cache.entry_files():
+            try:
+                stat = file_path.stat()
+            except OSError:
+                continue
+            known = saved.get(key)
+            last_used = (
+                float(known["last_used"])
+                if isinstance(known, dict) and "last_used" in known
+                else stat.st_mtime
+            )
+            self.entries[key] = {
+                "bytes": float(stat.st_size),
+                "last_used": last_used,
+            }
+        return self
+
+    def save(self) -> None:
+        """Persist atomically next to the records it indexes."""
+        self.cache.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache.root, prefix=".index.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as stream:
+                json.dump({"entries": self.entries}, stream,
+                          sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def touch(self, key: str, now: Optional[float] = None) -> None:
+        """Refresh ``key``'s recency (a read or write just happened)."""
+        entry = self.entries.get(key)
+        stamp = time.time() if now is None else now
+        if entry is None:
+            try:
+                size = float(self.cache.path(key).stat().st_size)
+            except OSError:
+                return
+            self.entries[key] = {"bytes": size, "last_used": stamp}
+        else:
+            entry["last_used"] = stamp
+
+    def total_bytes(self) -> int:
+        """Sum of indexed record sizes."""
+        return int(sum(e["bytes"] for e in self.entries.values()))
+
+    def compact(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Evict least-recently-used records until both bounds hold.
+
+        Deletes the record files through the cache (so a racing reader
+        simply misses), drops them from the index, and persists the
+        compacted index.  Returns what happened.
+        """
+        before = len(self.entries)
+        before_bytes = self.total_bytes()
+        # oldest first; key is the tiebreak so compaction is stable
+        order = sorted(
+            self.entries.items(),
+            key=lambda item: (item[1]["last_used"], item[0]),
+        )
+        evicted: List[str] = []
+        remaining = before
+        remaining_bytes = before_bytes
+        for key, entry in order:
+            over_entries = (
+                max_entries is not None and remaining > max_entries
+            )
+            over_bytes = (
+                max_bytes is not None and remaining_bytes > max_bytes
+            )
+            if not (over_entries or over_bytes):
+                break
+            self.cache.delete(key)
+            del self.entries[key]
+            remaining -= 1
+            remaining_bytes -= int(entry["bytes"])
+            evicted.append(key)
+        self.save()
+        return {
+            "entries_before": before,
+            "entries_after": remaining,
+            "bytes_before": before_bytes,
+            "bytes_after": remaining_bytes,
+            "evicted": len(evicted),
+            "evicted_keys": evicted,
+        }

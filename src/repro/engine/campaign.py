@@ -34,6 +34,7 @@ __all__ = [
     "Campaign",
     "load_campaign",
     "run_campaign",
+    "run_campaign_remote",
     "campaign_status",
     "REUSABLE_STATUSES",
 ]
@@ -141,6 +142,29 @@ def _campaign_result_hash(records: List[Dict[str, Any]]) -> str:
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
 
 
+def _verification_block(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-record certification outcomes for the summary."""
+    certification: Dict[str, Any] = {
+        "enabled": True,
+        "certified": 0,
+        "failed": [],
+        "budget_exceeded": 0,
+        "skipped": 0,
+    }
+    for record in records:
+        outcome = record.get("verification") or {"status": "skipped"}
+        status = outcome.get("status", "skipped")
+        if status == "certified":
+            certification["certified"] += 1
+        elif status == "failed":
+            certification["failed"].append(record["key"])
+        elif status == "budget_exceeded":
+            certification["budget_exceeded"] += 1
+        else:
+            certification["skipped"] += 1
+    return certification
+
+
 def run_campaign(
     campaign: Campaign,
     cache: ResultCache,
@@ -243,25 +267,7 @@ def run_campaign(
         "trace": tracer.report(),
     }
     if verify:
-        certification: Dict[str, Any] = {
-            "enabled": True,
-            "certified": 0,
-            "failed": [],
-            "budget_exceeded": 0,
-            "skipped": 0,
-        }
-        for record in final:
-            outcome = record.get("verification") or {"status": "skipped"}
-            status = outcome.get("status", "skipped")
-            if status == "certified":
-                certification["certified"] += 1
-            elif status == "failed":
-                certification["failed"].append(record["key"])
-            elif status == "budget_exceeded":
-                certification["budget_exceeded"] += 1
-            else:
-                certification["skipped"] += 1
-        summary["verification"] = certification
+        summary["verification"] = _verification_block(final)
     if write_summary:
         path = cache.summary_path(campaign.name)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -269,4 +275,186 @@ def run_campaign(
             json.dump(summary, stream, indent=2, sort_keys=True)
             stream.write("\n")
         summary["summary_path"] = str(path)
+    return summary
+
+
+def run_campaign_remote(
+    campaign: Campaign,
+    url: str,
+    workers: Optional[int] = None,
+    verify: Optional[bool] = None,
+    tracer: Optional[Tracer] = None,
+    deadline: Optional[float] = None,
+    wait: float = 10.0,
+) -> Dict[str, Any]:
+    """Execute a campaign *through a running service* instead of a
+    local pool (``repro campaign run --remote URL``).
+
+    Each of ``workers`` dispatchers holds one keep-alive connection to
+    the service (a single shard or a :mod:`repro.serve.router` front
+    end) and POSTs the campaign's tasks to ``/v1/task`` in task order.
+    Caching, batching, admission control, and verification upgrades
+    all happen **server-side**; this client only aggregates what the
+    service reports.  ``campaign.retries`` bounds re-sends after
+    transport failures or 429 backpressure (with ``campaign.backoff``
+    sleeps); a task that still has no usable response is recorded with
+    status ``unreachable`` and fails the campaign.
+
+    The summary has the shape of :func:`run_campaign` — same
+    ``result_hash`` construction, same ``verification`` block — plus
+    ``remote`` (the URL) and per-disposition ``served`` counts, so a
+    local and a remote run of the same grid are directly comparable.
+    """
+    import asyncio
+
+    from ..serve.client import _split_url, wait_healthy
+    from ..serve.http import HttpError, read_response, render_request
+
+    tracer = tracer if tracer is not None else Tracer()
+    concurrency = campaign.workers if workers is None else workers
+    concurrency = max(1, concurrency)
+    want_verify = campaign.verify if verify is None else verify
+    retries = max(0, campaign.retries)
+    host, port = _split_url(url)
+    t0 = time.perf_counter()
+
+    documents: List[Dict[str, Any]] = []
+    for spec in campaign.tasks:
+        document: Dict[str, Any] = {"task": spec.as_dict()}
+        if want_verify:
+            document["verify"] = True
+        if deadline is not None:
+            document["deadline"] = deadline
+        documents.append(document)
+
+    records: List[Optional[Dict[str, Any]]] = [None] * len(documents)
+    served: List[Optional[Dict[str, Any]]] = [None] * len(documents)
+
+    async def dispatch_all() -> None:
+        await wait_healthy(url, timeout=wait)
+        queue: "asyncio.Queue[int]" = asyncio.Queue()
+        for i in range(len(documents)):
+            queue.put_nowait(i)
+
+        async def worker() -> None:
+            reader = writer = None
+            try:
+                while True:
+                    try:
+                        index = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    body = json.dumps(documents[index]).encode()
+                    last_error = "no attempt made"
+                    for attempt in range(retries + 1):
+                        if attempt:
+                            await asyncio.sleep(
+                                campaign.backoff * attempt
+                            )
+                        try:
+                            if writer is None:
+                                reader, writer = (
+                                    await asyncio.open_connection(
+                                        host, port
+                                    )
+                                )
+                            writer.write(render_request(
+                                "POST", "/v1/task", body, host=host,
+                            ))
+                            await writer.drain()
+                            response = await read_response(reader)
+                            if response is None:
+                                raise HttpError(
+                                    400, "connection closed mid-response"
+                                )
+                        except (OSError, HttpError,
+                                asyncio.IncompleteReadError) as exc:
+                            last_error = str(exc) or type(exc).__name__
+                            tracer.count("engine.remote_transport_errors")
+                            if writer is not None:
+                                writer.close()
+                            reader = writer = None
+                            continue
+                        tracer.count("engine.remote_requests")
+                        if response.status in (429, 503):
+                            last_error = f"HTTP {response.status}"
+                            tracer.count("engine.remote_rejected")
+                            continue
+                        document = response.json()
+                        if isinstance(document, dict) and isinstance(
+                            document.get("record"), dict
+                        ):
+                            records[index] = document["record"]
+                            served[index] = document.get("served") or {}
+                        else:
+                            records[index] = {
+                                "key": task_hash(campaign.tasks[index]),
+                                "status": "error",
+                                "error": f"malformed response "
+                                         f"(HTTP {response.status})",
+                            }
+                        break
+                    else:
+                        records[index] = {
+                            "key": task_hash(campaign.tasks[index]),
+                            "status": "unreachable",
+                            "error": last_error,
+                        }
+            finally:
+                if writer is not None:
+                    writer.close()
+
+        await asyncio.gather(*[worker() for _ in range(concurrency)])
+
+    asyncio.run(dispatch_all())
+
+    final: List[Dict[str, Any]] = [
+        r if r is not None
+        else {"key": task_hash(campaign.tasks[i]),
+              "status": "unreachable", "error": "not dispatched"}
+        for i, r in enumerate(records)
+    ]
+    by_status: Dict[str, int] = {}
+    dispositions: Dict[str, int] = {}
+    aggregate = {"coalesced": 0, "coalesced_weight": 0.0,
+                 "residual_weight": 0.0, "vertices": 0}
+    failed: List[str] = []
+    task_seconds = 0.0
+    cache_hits = 0
+    for record, serve_info in zip(final, served):
+        status = record.get("status", "unknown")
+        by_status[status] = by_status.get(status, 0) + 1
+        if status not in REUSABLE_STATUSES:
+            failed.append(record["key"])
+        task_seconds += record.get("seconds") or 0.0
+        disposition = (serve_info or {}).get("cache", "unknown")
+        dispositions[disposition] = dispositions.get(disposition, 0) + 1
+        if disposition == "hit":
+            cache_hits += 1
+            tracer.count("engine.cache_hits")
+        payload = record.get("payload")
+        if status == "ok" and isinstance(payload, dict):
+            for field_name in aggregate:
+                value = payload.get(field_name)
+                if isinstance(value, (int, float)):
+                    aggregate[field_name] += value
+    summary = {
+        "campaign": campaign.name,
+        "engine_version": ENGINE_VERSION,
+        "remote": url,
+        "total_tasks": len(campaign.tasks),
+        "workers": concurrency,
+        "cache_hits": cache_hits,
+        "executed": len(final) - cache_hits,
+        "served": dict(sorted(dispositions.items())),
+        "by_status": dict(sorted(by_status.items())),
+        "failed_tasks": failed,
+        "wall_seconds": round(time.perf_counter() - t0, 6),
+        "task_seconds": round(task_seconds, 6),
+        "result_hash": _campaign_result_hash(final),
+        "aggregate": aggregate,
+        "trace": tracer.report(),
+    }
+    if want_verify:
+        summary["verification"] = _verification_block(final)
     return summary

@@ -138,6 +138,18 @@ class Function:
                     stack.append(s)
         return seen
 
+    def reachable_order(self) -> List[str]:
+        """Reachable blocks in insertion order.
+
+        ``reachable()`` returns a set whose iteration order follows
+        string hashing (``PYTHONHASHSEED``); any pass whose *output*
+        depends on block visit order — φ placement, affinity insertion,
+        spill tie-breaking — must iterate this instead so results are
+        reproducible across interpreter runs.
+        """
+        reachable = self.reachable()
+        return [b for b in self.blocks if b in reachable]
+
     def postorder(self) -> List[str]:
         """Postorder over reachable blocks (iterative DFS)."""
         out: List[str] = []

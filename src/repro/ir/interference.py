@@ -88,7 +88,9 @@ def chaitin_interference(
     adj: List[int] = [0] * len(variables)
     g = InterferenceGraph(vertices=variables)
     reachable = func.reachable()
-    for name in reachable:
+    # insertion-order walk: affinity insertion (and float weight
+    # accumulation) order must not depend on PYTHONHASHSEED
+    for name in func.reachable_order():
         block = func.blocks[name]
         freq = func.block_frequency(name) if weighted else 1.0
         live = out_masks[name]
@@ -165,7 +167,8 @@ def chaitin_interference_dict(
     info = compute_liveness_dict(func, tracer=tracer)
     g = InterferenceGraph(vertices=sorted(func.variables()))
     reachable = func.reachable()
-    for name in reachable:
+    # insertion-order walk, mirroring chaitin_interference
+    for name in func.reachable_order():
         block = func.blocks[name]
         freq = func.block_frequency(name) if weighted else 1.0
         live: Set[Var] = set(info.live_out[name])

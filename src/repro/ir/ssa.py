@@ -33,9 +33,11 @@ def construct_ssa(func: Function) -> Function:
     liveness = compute_liveness(src)
     reachable = src.reachable()
 
-    # blocks defining each variable
+    # blocks defining each variable (visit order is deterministic so
+    # def_sites / phi_blocks dict order — and hence per-block φ append
+    # order — does not leak PYTHONHASHSEED into the output)
     def_sites: Dict[Var, Set[str]] = {}
-    for name in reachable:
+    for name in src.reachable_order():
         for instr in src.blocks[name].instrs:
             for v in instr.defs:
                 def_sites.setdefault(v, set()).add(name)
@@ -43,7 +45,7 @@ def construct_ssa(func: Function) -> Function:
     # φ placement via iterated dominance frontier, pruned by liveness
     phi_blocks: Dict[Var, Set[str]] = {v: set() for v in def_sites}
     for v, sites in def_sites.items():
-        worklist = list(sites)
+        worklist = sorted(sites)
         while worklist:
             b = worklist.pop()
             for d in frontiers.get(b, ()):
@@ -55,7 +57,7 @@ def construct_ssa(func: Function) -> Function:
                 if d not in sites:
                     worklist.append(d)
     for v, blocks in phi_blocks.items():
-        for b in blocks:
+        for b in sorted(blocks):
             src.blocks[b].phis.append(
                 Phi(v, {p: v for p in src.predecessors(b) if p in reachable})
             )

@@ -17,6 +17,12 @@ report schema.
 
 from .tracer import NULL_TRACER, NullTracer, Tracer
 from .names import (
+    CACHE_FILE_HITS,
+    CACHE_FILE_MISSES,
+    CACHE_MEMORY_EVICTIONS,
+    CACHE_MEMORY_HITS,
+    CACHE_MEMORY_MISSES,
+    CACHE_TIER_COUNTERS,
     EDGES_SCANNED,
     KERNEL_WORK_COUNTERS,
     RANGES_BUILT,
@@ -39,6 +45,12 @@ __all__ = [
     "WORDS_MERGED",
     "RANGES_BUILT",
     "KERNEL_WORK_COUNTERS",
+    "CACHE_MEMORY_HITS",
+    "CACHE_MEMORY_MISSES",
+    "CACHE_MEMORY_EVICTIONS",
+    "CACHE_FILE_HITS",
+    "CACHE_FILE_MISSES",
+    "CACHE_TIER_COUNTERS",
     "as_report",
     "csv_rows",
     "merged_report",

@@ -32,6 +32,30 @@ from __future__ import annotations
 #: Counter name for per-element adjacency work (dict-of-set kernels).
 EDGES_SCANNED = "kernel.edges_scanned"
 
+#: In-memory LRU tier: record answered without touching the disk.
+CACHE_MEMORY_HITS = "cache.memory.hits"
+
+#: In-memory LRU tier: key absent (the file tier is consulted next).
+CACHE_MEMORY_MISSES = "cache.memory.misses"
+
+#: In-memory LRU tier: entry dropped to stay within capacity.
+CACHE_MEMORY_EVICTIONS = "cache.memory.evictions"
+
+#: File tier: record found in the content-addressed store.
+CACHE_FILE_HITS = "cache.file.hits"
+
+#: File tier: key absent (the task has to execute).
+CACHE_FILE_MISSES = "cache.file.misses"
+
+#: Every cache-tier counter, in the order reports list them.
+CACHE_TIER_COUNTERS = (
+    CACHE_MEMORY_HITS,
+    CACHE_MEMORY_MISSES,
+    CACHE_MEMORY_EVICTIONS,
+    CACHE_FILE_HITS,
+    CACHE_FILE_MISSES,
+)
+
 #: Counter name for per-word bitset work (dense kernels).
 WORDS_MERGED = "kernel.words_merged"
 

@@ -16,20 +16,34 @@ production goals require:
 * **micro-batching** (:mod:`repro.serve.batcher`) — homogeneous
   requests coalesce into one worker dispatch inside a configurable
   time/size window;
-* **cache-aware routing** (:mod:`repro.serve.service`) — the engine's
-  content-addressed result cache answers repeats without touching a
+* **cache-aware routing** (:mod:`repro.serve.service`) — a two-tier
+  result cache (in-memory LRU in front of the engine's
+  content-addressed file store) answers repeats without touching a
   worker, and verified results are written back for campaigns to
-  reuse.
+  reuse;
+* **sharding** (:mod:`repro.serve.router`) — ``repro serve --shards N``
+  spawns N supervised worker services and consistent-hash-routes each
+  task to the shard owning its content address, preserving cache and
+  batching affinity while scaling throughput across processes.
 
 Operational surface: ``/healthz``, ``/metrics`` (Prometheus text),
-``/drain``.  Entry points: ``python -m repro serve`` and the load
-generator ``python -m repro client``.  See ``docs/SERVING.md``.
+``/drain`` (plus ``/shards`` on the router).  Entry points:
+``python -m repro serve`` and the load generator
+``python -m repro client``.  See ``docs/SERVING.md``.
 """
 
 from .admission import AdmissionController, ClassLimit
 from .batcher import MicroBatcher
 from .client import LoadConfig, run_load
 from .protocol import TaskRequest, batch_key, parse_task_request
+from .router import (
+    HashRing,
+    Router,
+    RouterConfig,
+    ShardClient,
+    ShardSupervisor,
+    shard_urls,
+)
 from .service import ServeConfig, Service
 
 __all__ = [
@@ -41,6 +55,12 @@ __all__ = [
     "TaskRequest",
     "batch_key",
     "parse_task_request",
+    "HashRing",
+    "Router",
+    "RouterConfig",
+    "ShardClient",
+    "ShardSupervisor",
+    "shard_urls",
     "ServeConfig",
     "Service",
 ]

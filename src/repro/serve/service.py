@@ -13,11 +13,13 @@ Request lifecycle (``POST /v1/task``):
 1. parse + validate into a :class:`repro.serve.protocol.TaskRequest`
    (400 on schema violations);
 2. **cache probe** — the task's content address
-   (:func:`repro.engine.tasks.task_hash`) is looked up in the shared
-   :class:`~repro.engine.cache.ResultCache`; a reusable record answers
-   immediately (``serve.cache_hit``), optionally upgraded with a
-   verification certificate when the request asks for one the record
-   lacks; ``cache: "bypass"/"refresh"`` opt out;
+   (:func:`repro.engine.tasks.task_hash`) is looked up in the tiered
+   result store (:class:`~repro.engine.cache.TieredCache`): the
+   in-memory LRU tier answers synchronously on the event loop, a file
+   hit pays one thread hop and is promoted into memory; a reusable
+   record answers immediately (``serve.cache_hit``), optionally
+   upgraded with a verification certificate when the request asks for
+   one the record lacks; ``cache: "bypass"/"refresh"`` opt out;
 3. **admission** — bounded per-class queues reject overload with 429
    and drain with 503 (:mod:`repro.serve.admission`);
 4. **micro-batch** — the request joins its homogeneity batch
@@ -44,7 +46,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from ..engine.cache import ResultCache
+from ..engine.cache import MemoryCache, ResultCache, TieredCache
 from ..engine.pool import PersistentPool
 from ..obs import Tracer, to_prometheus
 from .admission import AdmissionController, ClassLimit
@@ -93,6 +95,9 @@ class ServeConfig:
     heavy_concurrency: int = 2
     task_timeout: Optional[float] = None
     max_body: int = DEFAULT_MAX_BODY
+    #: in-memory LRU tier capacity in records; 0 disables the tier and
+    #: every probe goes straight to the file cache
+    mem_entries: int = 1024
 
 
 class _Pending:
@@ -118,9 +123,22 @@ class Service:
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else Tracer()
-        self.cache = (
-            ResultCache(config.cache_dir) if config.cache_dir else None
-        )
+        # Two-tier result store: a synchronous in-memory LRU answers
+        # repeats without leaving the event loop; the file tier backs
+        # it and survives restarts.  ``mem_entries == 0`` falls back to
+        # the bare file cache (both expose get/put, so the hot path is
+        # agnostic).
+        self.cache: Any = None
+        if config.cache_dir:
+            file_cache = ResultCache(config.cache_dir)
+            if config.mem_entries > 0:
+                self.cache = TieredCache(
+                    file_cache,
+                    MemoryCache(config.mem_entries, tracer=self.tracer),
+                    tracer=self.tracer,
+                )
+            else:
+                self.cache = file_cache
         self.pool = PersistentPool(
             workers=config.workers, tracer=self.tracer
         )
@@ -264,14 +282,34 @@ class Service:
             ),
             "in_system": self.admission.in_system(),
             "pool_workers": self.config.workers,
-            "cache": self.cache is not None,
+            "cache": self._cache_health(),
         }
         return json_response(503 if draining else 200, payload,
                              keep_alive=keep_alive)
 
+    def _cache_health(self) -> Dict[str, Any]:
+        """The cache-tier block of the healthz document."""
+        if self.cache is None:
+            return {"enabled": False}
+        if isinstance(self.cache, TieredCache):
+            return {
+                "enabled": True,
+                "tiers": ["memory", "file"],
+                "memory_entries": len(self.cache.memory),
+                "memory_capacity": self.cache.memory.capacity,
+            }
+        return {"enabled": True, "tiers": ["file"]}
+
     def _handle_metrics(self, keep_alive: bool) -> bytes:
         """``GET /metrics`` — counters/spans/gauges as Prometheus text."""
         gauges = self.admission.gauges()
+        if isinstance(self.cache, TieredCache):
+            gauges["serve_cache_memory_entries"] = float(
+                len(self.cache.memory)
+            )
+            gauges["serve_cache_memory_capacity"] = float(
+                self.cache.memory.capacity
+            )
         gauges["serve_pool_workers"] = float(self.config.workers)
         gauges["serve_batch_pending"] = float(self.batcher.pending())
         gauges["serve_uptime_seconds"] = (
@@ -374,7 +412,19 @@ class Service:
         """
         if self.cache is None or task_request.cache_mode != "use":
             return None
-        record = await asyncio.to_thread(self.cache.get, task_request.key)
+        record: Optional[Dict[str, Any]] = None
+        if isinstance(self.cache, TieredCache):
+            # the memory tier is a dict lookup — probe it on the event
+            # loop; only a miss pays the thread hop to the file tier
+            record = self.cache.get_memory(task_request.key)
+            if record is None:
+                record = await asyncio.to_thread(
+                    self.cache.get_file, task_request.key
+                )
+        else:
+            record = await asyncio.to_thread(
+                self.cache.get, task_request.key
+            )
         if record is None or record.get("status") not in REUSABLE_STATUSES:
             return None
         if task_request.verify and "verification" not in record:

@@ -112,3 +112,55 @@ class TestProgramInstance:
     def test_no_memory_slots(self):
         inst = program_instance(1, 3)
         assert not any(str(v).startswith("slot(") for v in inst.graph.vertices)
+
+
+def test_program_instance_independent_of_hash_seed():
+    """Instance generation must be byte-identical across interpreter
+    hash randomization: the generator → SSA → spill → interference path
+    once leaked set-iteration order into φ placement, spill choices and
+    affinity insertion order (the ROADMAP hash-determinism item).
+
+    This extends the `repro check` hash-invariance discipline to the
+    "program" cohort: graph content, affinity *order*, and strategy
+    outcomes all have to match across PYTHONHASHSEED values.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    probe = (
+        "import json\n"
+        "from repro.challenge.generator import program_instance\n"
+        "from repro.engine.tasks import TaskSpec, run_task\n"
+        "out = []\n"
+        "for seed in (0, 3, 9):\n"
+        "    inst = program_instance(seed, 4)\n"
+        "    g = inst.graph\n"
+        "    out.append({\n"
+        "        'edges': sorted(map(sorted, g.edges())),\n"
+        "        'affinities': [(str(u), str(v), w)\n"
+        "                       for u, v, w in g.affinities()],\n"
+        "    })\n"
+        "for strategy in ('briggs', 'aggressive'):\n"
+        "    rec = run_task(TaskSpec(generator='program', seed=9, k=4,\n"
+        "                            strategy=strategy))\n"
+        "    out.append({'key': rec['key'],\n"
+        "                'result_hash': rec['result_hash'],\n"
+        "                'status': rec['status'],\n"
+        "                'coalesced': rec['payload']['coalesced'],\n"
+        "                'residual': rec['payload']['residual_weight']})\n"
+        "print(json.dumps(out, sort_keys=True))\n"
+    )
+    outputs = set()
+    for seed in ("0", "42", "1337"):
+        proc = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True, text=True,
+            env={"PYTHONHASHSEED": seed,
+                 "PYTHONPATH": str(Path(__file__).resolve().parent.parent
+                                   / "src"),
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1
